@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark file regenerates one table/figure of the paper at the
+scale selected by ``REPRO_SCALE`` (default ``quick``; see
+``repro.analysis.experiments.Scale``).  The harness prints the same
+rows/series the paper reports, alongside the paper's own numbers, so a
+run can be compared shape-for-shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import Scale, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The experiment scale for this benchmark session."""
+    chosen = scale_from_env()
+    print(f"\n[repro] benchmark scale: {chosen.name} "
+          f"({chosen.n_frames} frames, {chosen.injections} injections/cell)")
+    return chosen
+
+
+def print_header(title: str) -> None:
+    """Banner for one experiment's output block."""
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_rates_row(label: str, rates: dict[str, float], extra: str = "") -> None:
+    """One outcome-rate row in the style of the paper's bar charts."""
+    print(
+        f"  {label:26s} mask={rates['mask']:6.1%}  sdc={rates['sdc']:6.1%}  "
+        f"crash={rates['crash']:6.1%}  hang={rates['hang']:6.1%}  {extra}"
+    )

@@ -1,0 +1,67 @@
+"""Ablation — VS_RFD drop-rate sweep (the knob behind Fig. 5's RFD bars).
+
+The paper evaluates VS_RFD at up to 10% dropped frames.  This ablation
+sweeps the drop rate and reports modelled time and output quality,
+exposing the trade-off curve the paper samples at one point: more drops
+-> more cascading discards -> more savings and more quality loss,
+with Input 1 (low redundancy) degrading faster than Input 2.
+"""
+
+from conftest import print_header
+
+from repro.analysis.experiments import input_stream
+from repro.perfmodel.energy import estimate_from_profile
+from repro.quality import compare_outputs
+from repro.summarize.approximations import baseline_config, rfd_config
+from repro.summarize.golden import golden_run
+
+DROP_RATES = (0.0, 0.05, 0.10, 0.20, 0.30)
+
+
+def test_ablation_droprate(benchmark, scale):
+    def sweep():
+        rows = []
+        for input_name in ("input1", "input2"):
+            stream = input_stream(input_name, scale)
+            baseline = golden_run(stream, baseline_config())
+            baseline_estimate = estimate_from_profile(baseline.profile)
+            for rate in DROP_RATES:
+                config = (
+                    baseline_config()
+                    if rate == 0.0
+                    else rfd_config(drop_fraction=rate).with_name(f"VS_RFD_{rate:.2f}")
+                )
+                golden = golden_run(stream, config)
+                estimate = estimate_from_profile(golden.profile)
+                quality = compare_outputs(baseline.output, golden.output)
+                rows.append(
+                    (
+                        input_name,
+                        rate,
+                        estimate.normalized_to(baseline_estimate)["time"],
+                        quality.relative_l2_norm,
+                        golden.result.frames_stitched,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Ablation — VS_RFD drop-rate sweep (time vs quality)")
+    for input_name, rate, rel_time, rel_l2, stitched in rows:
+        print(
+            f"  {input_name} drop={rate:4.0%}  time={rel_time:5.2f}x  "
+            f"quality dev={rel_l2:7.2f}%  stitched={stitched}"
+        )
+    print("  paper evaluates the 10% point; the sweep shows the whole trade-off")
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for input_name in ("input1", "input2"):
+        # More drops -> never more stitched frames.
+        stitched = [by_key[(input_name, rate)][4] for rate in DROP_RATES]
+        assert all(a >= b - 2 for a, b in zip(stitched, stitched[1:]))
+        # The no-drop row is the baseline itself.
+        assert by_key[(input_name, 0.0)][2] == 1.0
+        assert by_key[(input_name, 0.0)][3] == 0.0
+        # Heavy dropping saves real time.
+        assert by_key[(input_name, 0.30)][2] < 0.95

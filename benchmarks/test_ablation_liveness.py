@@ -1,0 +1,78 @@
+"""Ablation — sensitivity of outcome rates to the register-liveness model.
+
+The liveness leases (how long a bound value stays live in its modelled
+register) are the main calibration knob of the fault-injection
+substrate.  This ablation scales all leases down/up and shows the
+expected monotone effect: shorter leases -> more dead-register masking,
+fewer crashes; longer leases -> the opposite.  The default (1.0x) is the
+model used by every paper experiment.
+"""
+
+from conftest import print_header, print_rates_row
+
+from repro.analysis.experiments import input_stream, vs_workload
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.registers import LivenessModel, RegKind
+from repro.summarize.approximations import baseline_config
+from repro.summarize.golden import golden_run
+
+#: Lease multipliers swept by the ablation.
+SCALES = (0.1, 1.0, 10.0)
+
+
+def scaled_model(factor: float) -> LivenessModel:
+    base = LivenessModel()
+    return LivenessModel(
+        gpr_data_ttl=int(base.gpr_data_ttl * factor),
+        gpr_address_ttl=int(base.gpr_address_ttl * factor),
+        gpr_control_ttl=int(base.gpr_control_ttl * factor),
+        fpr_data_ttl=int(base.fpr_data_ttl * factor),
+    )
+
+
+def test_ablation_liveness(benchmark, scale):
+    stream = input_stream("input2", scale)
+    config = baseline_config()
+    golden = golden_run(stream, config)
+    n = max(40, scale.injections // 2)
+
+    def sweep():
+        rows = []
+        for factor in SCALES:
+            campaign = run_campaign(
+                vs_workload(stream, config),
+                golden.output,
+                golden.total_cycles,
+                CampaignConfig(
+                    n_injections=n,
+                    kind=RegKind.GPR,
+                    seed=77,
+                    liveness=scaled_model(factor),
+                    keep_sdc_outputs=False,
+                ),
+            )
+            rows.append((factor, campaign.counts))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Ablation — register liveness leases vs outcome rates (GPR, input2)")
+    for factor, counts in rows:
+        print_rates_row(f"leases x{factor:g}", counts.rates())
+    print("  expectation: longer leases -> more live hits -> more crashes, less masking")
+
+    by_factor = {factor: counts for factor, counts in rows}
+    # Masking decreases (weakly) as leases grow.
+    assert (
+        by_factor[0.1].rate(_outcome("mask")) >= by_factor[10.0].rate(_outcome("mask")) - 0.05
+    )
+    # Crashes increase (weakly) as leases grow.
+    assert (
+        by_factor[10.0].rate(_outcome("crash")) >= by_factor[0.1].rate(_outcome("crash")) - 0.05
+    )
+
+
+def _outcome(name: str):
+    from repro.faultinject.outcomes import Outcome
+
+    return {o.value: o for o in Outcome}[name]

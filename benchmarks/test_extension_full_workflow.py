@@ -1,0 +1,64 @@
+"""Extension — resiliency of the *full* workflow (coverage + events).
+
+The paper injects into coverage summarization only; its Fig. 2 workflow
+also has an event branch (detection, tracking, overlay).  This extension
+asks the natural follow-up: does adding the event branch change the
+resiliency profile?  The event stages add compute whose corruption
+surfaces in the overlay, so the crash structure stays similar while some
+additional SDC surface appears in the integrated output.
+"""
+
+import numpy as np
+from conftest import print_header, print_rates_row
+
+from repro.events.pipeline import run_full_summarization
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.registers import RegKind
+from repro.runtime.context import ExecutionContext
+from repro.summarize.approximations import baseline_config
+from repro.summarize.golden import golden_run
+from repro.summarize.pipeline import run_vs
+from repro.video.synthetic import make_event_input
+
+
+def test_extension_full_workflow(benchmark, scale):
+    event_input = make_event_input(n_frames=min(32, scale.n_frames))
+    stream = event_input.stream
+    config = baseline_config()
+    n = max(40, scale.injections // 2)
+
+    def study():
+        # Coverage-only workload (the paper's setup).
+        coverage_golden = golden_run(stream, config)
+        coverage_campaign = run_campaign(
+            lambda ctx: run_vs(stream, config, ctx).panorama,
+            coverage_golden.output,
+            coverage_golden.total_cycles,
+            CampaignConfig(n_injections=n, kind=RegKind.GPR, seed=55, keep_sdc_outputs=False),
+        )
+
+        # Full workflow: the observed output is the track overlay.
+        golden_ctx = ExecutionContext()
+        full_golden = run_full_summarization(stream, config, golden_ctx)
+        full_campaign = run_campaign(
+            lambda ctx: run_full_summarization(stream, config, ctx).overlay,
+            full_golden.overlay,
+            golden_ctx.cycles,
+            CampaignConfig(n_injections=n, kind=RegKind.GPR, seed=56, keep_sdc_outputs=False),
+        )
+        return coverage_campaign.counts, full_campaign.counts
+
+    coverage_counts, full_counts = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    print_header("Extension — coverage-only vs full (coverage + events) workflow")
+    print_rates_row("coverage only", coverage_counts.rates())
+    print_rates_row("full workflow", full_counts.rates())
+    print("  expectation: similar crash structure; the integrated output adds SDC surface")
+
+    # Both profiles must be populated and broadly similar in crash rate.
+    assert coverage_counts.total == full_counts.total == n
+    from repro.faultinject.outcomes import Outcome
+
+    assert abs(
+        coverage_counts.rate(Outcome.CRASH) - full_counts.rate(Outcome.CRASH)
+    ) < 0.25

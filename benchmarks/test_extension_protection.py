@@ -1,0 +1,68 @@
+"""Extension — selective protection cost from the ED metric.
+
+The paper's conclusion (Section VI-D): "a large majority of the SDC
+causing error-sites need not be protected if an error of 10% is
+acceptable", so resiliency can be bought selectively instead of with
+blanket redundancy.  This extension makes that argument quantitative: a
+campaign's SDCs are graded with the relative-L2/ED metric and a
+protection plan is priced across a sweep of ED tolerances.
+"""
+
+from conftest import print_header
+
+from repro.analysis.experiments import input_stream, vs_workload
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.registers import RegKind
+from repro.protection import full_duplication_overhead, plan_protection, symptom_coverage
+from repro.quality import compare_outputs
+from repro.summarize.approximations import baseline_config
+from repro.summarize.golden import golden_run
+
+TOLERANCES = (0, 5, 10, 20, 50)
+
+
+def test_extension_protection(benchmark, scale):
+    stream = input_stream("input2", scale)
+    config = baseline_config()
+    golden = golden_run(stream, config)
+    n = max(80, scale.injections)
+
+    def study():
+        campaign = run_campaign(
+            vs_workload(stream, config),
+            golden.output,
+            golden.total_cycles,
+            CampaignConfig(n_injections=n, kind=RegKind.GPR, seed=91),
+        )
+        qualities = {
+            index: compare_outputs(golden.output, result.output)
+            for index, result in enumerate(campaign.results)
+            if result.is_sdc and result.output is not None
+        }
+        coverage = symptom_coverage(campaign)
+        plans = {
+            tolerance: plan_protection(campaign, qualities, golden.profile, tolerance)
+            for tolerance in TOLERANCES
+        }
+        return coverage, plans
+
+    coverage, plans = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    print_header("Extension — selective protection cost vs ED tolerance")
+    print(f"  symptom detectors catch {coverage.detector_coverage:.0%} of harmful outcomes")
+    for tolerance, plan in plans.items():
+        cls = plan.classification
+        print(
+            f"  ED tolerance {tolerance:3d}: tolerable SDCs "
+            f"{cls.tolerable_sdc}/{cls.sdc_total}  overhead {plan.runtime_overhead:6.1%} "
+            f"(full duplication: {full_duplication_overhead():.0%})"
+        )
+    print("  paper: most SDC error-sites need no protection at a 10% error budget")
+
+    overheads = [plans[t].runtime_overhead for t in TOLERANCES]
+    # Overhead is monotone non-increasing in tolerance and always beats
+    # full duplication.
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    assert all(o < full_duplication_overhead() for o in overheads)
+    # Crashes dominate harmful outcomes, so symptom coverage is high.
+    assert coverage.detector_coverage > 0.5

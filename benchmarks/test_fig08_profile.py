@@ -1,0 +1,30 @@
+"""Fig. 8 — execution profile of the VS application.
+
+Paper reference points: ~68% of execution time in OpenCV library code;
+``warpPerspectiveInvoker`` alone is 54.4% and is the hot function the
+WP case study isolates.
+"""
+
+from conftest import print_header
+
+from repro.analysis.experiments import fig08_profile
+
+
+def test_fig08_profile(benchmark, scale):
+    reports = benchmark.pedantic(fig08_profile, args=(scale,), rounds=1, iterations=1)
+
+    print_header("Fig. 8 — execution-time distribution by function")
+    for report in reports:
+        print(f"  {report.input_name}: hot(warp)={report.hot_fraction:.1%}  "
+              f"library={report.library_fraction:.1%}")
+        for line in report.lines:
+            tag = "lib" if line.is_library else "app"
+            print(f"      {line.fraction:6.1%}  [{tag}] {line.bucket}")
+    print("  paper: warpPerspectiveInvoker 54.4%, library total ~68%")
+
+    for report in reports:
+        # The warp chain is the hot spot and library code dominates.
+        assert report.hot_fraction > 0.25
+        assert report.library_fraction > 0.6
+        top_buckets = [line.bucket for line in report.lines[:3]]
+        assert "warpPerspectiveInvoker" in top_buckets

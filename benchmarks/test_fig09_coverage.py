@@ -1,0 +1,47 @@
+"""Fig. 9 — error-site coverage of the injection campaigns.
+
+(a) Outcome rates over increasing injection count stabilize at a knee
+    (1000 injections in the paper).
+(b) Injections are uniformly distributed across the 32 GPRs and the 64
+    bits within each register.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.analysis.experiments import fig09_coverage
+
+
+def test_fig09_coverage(benchmark, scale):
+    study = benchmark.pedantic(fig09_coverage, args=(scale,), rounds=1, iterations=1)
+
+    print_header("Fig. 9 — injection-count convergence and register coverage")
+    running = study.campaign.running
+    marks = [n for n in (25, 50, 100, 200, 400, 700, 1000) if n <= running.checkpoints[-1]]
+    print("  (a) running outcome rates:")
+    for mark in marks:
+        index = mark - 1
+        rates = {name: series[index] for name, series in running.rates.items()}
+        print(
+            f"      n={mark:5d}  mask={rates['mask']:6.1%} sdc={rates['sdc']:6.1%} "
+            f"crash={rates['crash']:6.1%} hang={rates['hang']:6.1%}"
+        )
+    knee = study.knee
+    print(f"      knee (rates settled within 2%): {knee}")
+    print(f"  (b) register coverage CV={study.register_cv:.3f}, bit coverage CV={study.bit_cv:.3f}")
+    histogram = study.campaign.register_histogram
+    print(f"      injections per GPR: min={histogram.min()} mean={histogram.mean():.1f} "
+          f"max={histogram.max()}")
+    print("  paper: knee at ~1000 injections; uniform distribution over 32 GPRs and 64 bits")
+
+    # Every register was hit, and the spread is near-uniform.
+    assert histogram.sum() == scale.convergence_injections
+    if scale.convergence_injections >= 300:
+        assert (histogram > 0).all()
+        assert study.register_cv < 0.5
+        assert study.bit_cv < 0.5
+    # The campaign converges by its end: the knee exists and leaves a
+    # stable tail (when enough injections were run to judge).
+    if scale.convergence_injections >= 300:
+        assert knee is not None
+        assert knee <= scale.convergence_injections

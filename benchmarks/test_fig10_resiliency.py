@@ -1,0 +1,36 @@
+"""Fig. 10 — resiliency profile of the baseline VS algorithm.
+
+Paper reference points (Section VI-A): GPR injections crash ~40% of the
+time (92% of crashes are segmentation faults, 8% aborts), SDCs are rare
+(~1%), and the rest mask.  FPR injections are masked >= 99.7% because
+pixel math converts to float and back through a saturating cast.
+"""
+
+from conftest import print_header, print_rates_row
+
+from repro.analysis.experiments import fig10_resiliency
+from repro.faultinject.registers import RegKind
+
+
+def test_fig10_resiliency(benchmark, scale):
+    cells = benchmark.pedantic(fig10_resiliency, args=(scale,), rounds=1, iterations=1)
+
+    print_header("Fig. 10 — VS resiliency profile (GPR vs FPR, both inputs)")
+    for cell in cells:
+        segv = cell.counts.segv_fraction_of_crashes()
+        extra = f"(segv {segv:.0%} of crashes)" if cell.counts.crash else ""
+        print_rates_row(f"{cell.input_name} {cell.kind.value.upper()}", cell.rates(), extra)
+    print("  paper: GPR crash ~40% (92% segv / 8% abort), SDC ~1%; FPR mask >= 99.7%")
+
+    gpr_cells = [c for c in cells if c.kind is RegKind.GPR]
+    fpr_cells = [c for c in cells if c.kind is RegKind.FPR]
+    for cell in gpr_cells:
+        rates = cell.rates()
+        # GPR: substantial crash rate, dominated by segfaults.
+        assert rates["crash"] > 0.2
+        assert cell.counts.segv_fraction_of_crashes() > 0.6
+        # Mask still the most common single outcome.
+        assert rates["mask"] > 0.3
+    for cell in fpr_cells:
+        # FPR: overwhelmingly masked.
+        assert cell.rates()["mask"] > 0.95

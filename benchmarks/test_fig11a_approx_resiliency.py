@@ -1,0 +1,36 @@
+"""Fig. 11a — resiliency of the approximate VS algorithms (GPR).
+
+Paper reference points (Section VI-B): Crash/Mask/Hang rates of the
+approximations stay very close to the baseline; the SDC rate increases
+slightly (Input 1: 1% -> 3% for VS_RFD, 2.5% for VS_KDS) because reduced
+stitching redundancy exposes corruptions that overlap used to mask.
+"""
+
+from conftest import print_header, print_rates_row
+
+from repro.analysis.experiments import fig11a_approx_resiliency
+
+
+def test_fig11a_approx_resiliency(benchmark, scale):
+    cells = benchmark.pedantic(
+        fig11a_approx_resiliency, args=(scale,), rounds=1, iterations=1
+    )
+
+    print_header("Fig. 11a — resiliency of VS vs approximations (GPR injections)")
+    for input_name in ("input1", "input2"):
+        print(f"  {input_name}:")
+        for cell in cells:
+            if cell.input_name == input_name:
+                print_rates_row(f"  {cell.algorithm}", cell.rates())
+    print("  paper: crash/mask/hang ~unchanged; SDC up slightly (<= ~2 points)")
+
+    by_key = {(c.input_name, c.algorithm): c for c in cells}
+    for input_name in ("input1", "input2"):
+        base = by_key[(input_name, "VS")].rates()
+        for algo in ("VS_RFD", "VS_KDS", "VS_SM"):
+            rates = by_key[(input_name, algo)].rates()
+            # The resiliency profile stays close to the baseline's.
+            assert abs(rates["crash"] - base["crash"]) < 0.2
+            assert abs(rates["mask"] - base["mask"]) < 0.2
+            # Approximation never makes SDCs collapse or explode.
+            assert rates["sdc"] < base["sdc"] + 0.15

@@ -1,0 +1,33 @@
+"""Fig. 11b — hot-function study: standalone WP vs in-situ warp.
+
+Paper reference points (Section VI-C): injections into the warp
+functions produce a *different* profile when observed at the end of the
+full VS workflow than at the end of the standalone WP benchmark — the
+compositional effect masks corruptions (an adjacent frame is stitched
+over the corrupted area), so VS masks more and SDCs less than WP.
+"""
+
+from conftest import print_header, print_rates_row
+
+from repro.analysis.experiments import fig11b_hot_function
+
+
+def test_fig11b_hot_function(benchmark, scale):
+    study = benchmark.pedantic(fig11b_hot_function, args=(scale,), rounds=1, iterations=1)
+
+    print_header("Fig. 11b — warp-register injections: full VS vs standalone WP")
+    print_rates_row(
+        "VS (in-situ warp)", study.vs_counts.rates(), f"n={study.vs_counts.total}"
+    )
+    print_rates_row("WP (standalone)", study.wp_counts.rates(), f"n={study.wp_counts.total}")
+    print(f"  compositional masking gain (VS - WP): {study.masking_gain():+.1%}")
+    print("  paper: VS masks more than WP; hot-function profiles are not representative")
+
+    assert study.vs_counts.total > 0 and study.wp_counts.total > 0
+    if min(study.vs_counts.total, study.wp_counts.total) >= 60:
+        from repro.faultinject.outcomes import Outcome
+
+        # The paper's conclusion: the end-to-end workflow masks more and
+        # converts would-be SDCs into masked outcomes.
+        assert study.masking_gain() > 0.0
+        assert study.vs_counts.rate(Outcome.SDC) < study.wp_counts.rate(Outcome.SDC)

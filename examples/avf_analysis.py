@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Which registers, bits and value roles are actually vulnerable?
+
+Derives empirical Architectural Vulnerability Factors (AVF — the lens
+of Mukherjee et al. that the paper's methodology builds on) from a GPR
+injection campaign: per register, per bit bucket, and per value role
+(pointer / loop state / data / dead).
+
+Run:  python examples/avf_analysis.py [n_injections]
+"""
+
+import sys
+
+from repro.analysis import bit_avf, register_avf, role_avf, sparkline, workload_avf
+from repro.faultinject import CampaignConfig, RegKind, run_campaign
+from repro.summarize import baseline_config, golden_run, run_vs
+from repro.video import make_input1
+
+
+def main(n_injections: int = 300) -> None:
+    stream = make_input1(n_frames=32)
+    config = baseline_config()
+    golden = golden_run(stream, config)
+
+    def workload(ctx):
+        return run_vs(stream, config, ctx).panorama
+
+    print(f"Running {n_injections} GPR injections...")
+    campaign = run_campaign(
+        workload,
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(n_injections=n_injections, kind=RegKind.GPR, seed=21,
+                       keep_sdc_outputs=False),
+    )
+
+    overall = workload_avf(campaign)
+    lo, hi = overall.confidence_interval
+    print(f"\nworkload AVF (GPR): {overall.avf:.1%}  [95% CI {lo:.1%} - {hi:.1%}]")
+
+    print("\nAVF by register (sparkline over r0..r31):")
+    estimates = register_avf(campaign)
+    print("  [" + sparkline([e.avf for e in estimates], width=32) + "]")
+    ranked = sorted(estimates, key=lambda e: -e.avf)[:5]
+    for est in ranked:
+        print(f"    {est.label}: AVF {est.avf:.0%} ({est.affected}/{est.total})")
+
+    print("\nAVF by bit bucket:")
+    for est in bit_avf(campaign):
+        print(f"    {est.label:12s} AVF {est.avf:5.0%} ({est.affected}/{est.total})")
+
+    print("\nAVF by value role:")
+    for est in role_avf(campaign):
+        print(f"    {est.label:8s} AVF {est.avf:5.0%} ({est.affected}/{est.total})")
+
+    print("\nReading: pointer (address) registers dominate vulnerability —")
+    print("their flips leave the mapped address space — while flips into")
+    print("dead registers never matter; high bits hurt more than low bits.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    main(n)

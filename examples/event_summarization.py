@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Full UAV summarization: coverage panorama + moving-object tracks.
+
+Reconstructs the paper's complete Fig. 2 workflow: a synthetic aerial
+video with planted vehicles is summarized into a panorama, movers are
+detected by registered frame differencing, tracked across frames, and
+the tracks are overlaid on the panorama — "a comprehensive and concise
+summarization of a whole UAV video".
+
+Run:  python examples/event_summarization.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.events import run_full_summarization
+from repro.imaging.io import save_pgm
+from repro.runtime.context import ExecutionContext
+from repro.summarize import baseline_config
+from repro.video import make_event_input
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output" / "events"
+
+
+def main() -> None:
+    print("Generating a patrol video with 3 moving vehicles...")
+    event_input = make_event_input(n_frames=40, n_objects=3)
+
+    print("Running coverage + event summarization...")
+    ctx = ExecutionContext()
+    summary = run_full_summarization(event_input.stream, baseline_config(), ctx)
+
+    coverage = summary.coverage
+    print(f"  coverage: {coverage.frames_stitched} frames stitched into "
+          f"{coverage.num_minis} mini-panorama(s)")
+    detections = sum(len(d) for d in summary.detections_per_frame.values())
+    print(f"  event branch: {detections} detections -> {summary.num_tracks} confirmed tracks")
+    for track in summary.tracks:
+        vx, vy = track.velocity()
+        print(f"    track {track.track_id}: {len(track.points)} observations, "
+              f"velocity ~({vx:+.1f}, {vy:+.1f}) px/frame")
+
+    print("\nGround truth: planted movers")
+    for obj in event_input.objects:
+        print(f"    object {obj.object_id}: velocity ({obj.velocity_x:+.1f}, "
+              f"{obj.velocity_y:+.1f}) px/frame, tone {obj.intensity:.0f}")
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    save_pgm(OUTPUT_DIR / "panorama.pgm", coverage.panorama)
+    save_pgm(OUTPUT_DIR / "overlay.pgm", summary.overlay)
+    changed = int(np.count_nonzero(summary.overlay != coverage.panorama))
+    print(f"\nOverlay drawn ({changed} pixels changed); images in {OUTPUT_DIR}")
+
+
+if __name__ == "__main__":
+    main()

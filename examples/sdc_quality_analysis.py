@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Grade the severity of Silent Data Corruptions with the paper's metric.
+
+Runs a GPR injection campaign, collects every SDC's corrupted panorama,
+aligns it against the golden output, computes the relative L2 norm and
+Egregiousness Degree (ED), and prints the cumulative quality
+distribution — the per-SDC version of the paper's Fig. 12.  The worst
+SDC is saved next to the golden output for visual comparison.
+
+Run:  python examples/sdc_quality_analysis.py [n_injections]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.faultinject import CampaignConfig, RegKind, run_campaign
+from repro.imaging.io import save_pgm
+from repro.quality import build_curve, compare_outputs
+from repro.summarize import baseline_config, golden_run, run_vs
+from repro.video import make_input2
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output" / "sdc_quality"
+
+
+def main(n_injections: int = 150) -> None:
+    stream = make_input2(n_frames=32)
+    config = baseline_config()
+    golden = golden_run(stream, config)
+
+    def workload(ctx):
+        return run_vs(stream, config, ctx).panorama
+
+    print(f"Running {n_injections} GPR injections to harvest SDCs...")
+    campaign = run_campaign(
+        workload,
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(n_injections=n_injections, kind=RegKind.GPR, seed=7),
+    )
+    sdc_runs = campaign.sdc_results
+    print(f"  outcomes: {campaign.rates()}")
+    print(f"  harvested {len(sdc_runs)} SDCs")
+    if not sdc_runs:
+        print("  no SDCs at this sample size; re-run with more injections")
+        return
+
+    qualities = []
+    worst = None
+    for result in sdc_runs:
+        quality = compare_outputs(golden.output, result.output)
+        qualities.append(quality)
+        if worst is None or (
+            quality.relative_l2_norm > worst[0].relative_l2_norm
+        ):
+            worst = (quality, result)
+
+    curve = build_curve("VS", qualities)
+    print("\nCumulative ED distribution (percent of SDCs at or below an ED):")
+    for ed in (1, 2, 5, 10, 20, 50, 100):
+        print(f"  ED <= {ed:3d}: {curve.fraction_at_or_below(ed):5.1f}%")
+    print(f"  egregious (rel L2 > 100%): {curve.egregious_count}")
+
+    benign = curve.fraction_at_or_below(10)
+    print(f"\n{benign:.0f}% of SDCs have ED < 10: if a 10% output deviation is")
+    print("acceptable for the mission, those error sites need no protection")
+    print("(the paper's argument for cheap, selective hardening).")
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    save_pgm(OUTPUT_DIR / "golden.pgm", golden.output)
+    worst_quality, worst_result = worst
+    save_pgm(OUTPUT_DIR / "worst_sdc.pgm", worst_result.output)
+    print(f"\nWorst SDC (rel L2 = {worst_quality.relative_l2_norm:.1f}%) and golden "
+          f"output written to {OUTPUT_DIR}")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    main(n)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Surveillance mission: trade output quality for energy with approximations.
+
+Simulates the paper's motivating scenario: a UAV with a tight energy
+budget must summarize its camera feed on board.  The script runs the
+baseline VS algorithm and its three approximations (VS_RFD, VS_KDS,
+VS_SM) over both mission profiles (busy flight / steady sweep), reports
+modelled execution time and energy, and scores each approximate panorama
+against the precise output using the paper's relative-L2 metric.
+
+Run:  python examples/surveillance_mission.py
+"""
+
+from pathlib import Path
+
+from repro.imaging.io import save_pgm
+from repro.perfmodel.energy import estimate_from_profile
+from repro.quality import compare_outputs
+from repro.summarize import ALGORITHM_FACTORIES, config_for, golden_run
+from repro.video import make_input1, make_input2
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output" / "surveillance"
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    missions = {
+        "busy-flight": make_input1(n_frames=48),
+        "steady-sweep": make_input2(n_frames=48),
+    }
+
+    for mission_name, stream in missions.items():
+        print(f"\n=== mission: {mission_name} ({len(stream)} frames) ===")
+        baseline = golden_run(stream, config_for("VS"))
+        baseline_estimate = estimate_from_profile(baseline.profile)
+
+        print(f"{'algorithm':10s} {'time':>8s} {'energy':>8s} {'rel-time':>9s} "
+              f"{'quality (rel L2 vs VS)':>24s}")
+        for algorithm in ALGORITHM_FACTORIES:
+            golden = golden_run(stream, config_for(algorithm))
+            estimate = estimate_from_profile(golden.profile)
+            quality = compare_outputs(baseline.output, golden.output)
+            rel = estimate.normalized_to(baseline_estimate)
+            print(
+                f"{algorithm:10s} {estimate.time_s * 1e3:7.1f}ms "
+                f"{estimate.energy_j:7.3f}J {rel['time']:8.2f}x "
+                f"{quality.relative_l2_norm:18.2f}%"
+            )
+            save_pgm(OUTPUT_DIR / f"{mission_name}_{algorithm}.pgm", golden.output)
+
+        print(f"panoramas saved under {OUTPUT_DIR}")
+
+    print("\nReading: on the busy flight the approximations save the most energy")
+    print("(cascading frame discards) at a visible quality cost; on the steady")
+    print("sweep the redundancy keeps quality high while VS_KDS still cuts the")
+    print("quadratic matching work (the paper's Fig. 5 / Fig. 6 trade-off).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Reproduction of "Impact of Software Approximations on the Resiliency of
+a Video Summarization System" (DSN 2018).
+
+Subpackages:
+
+* ``repro.runtime`` — simulated machine (cycles, watchdog, checkpoints).
+* ``repro.imaging`` — image substrate (filters, geometry, warping, I/O).
+* ``repro.vision`` — FAST/ORB features, matching, RANSAC, homography.
+* ``repro.video`` — synthetic aerial-video inputs (VIRAT stand-ins).
+* ``repro.summarize`` — the VS application and its approximations.
+* ``repro.faultinject`` — architectural fault-injection framework (AFI analog).
+* ``repro.quality`` — SDC quality metric (relative L2 norm, ED).
+* ``repro.perfmodel`` — cycle/IPC/energy model.
+* ``repro.analysis`` — experiment harness regenerating the paper's figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,121 @@
+"""Architectural Vulnerability Factor (AVF) analysis of campaign data.
+
+The paper's related work (Section VIII-B) grounds its methodology in the
+AVF literature (Mukherjee et al., MICRO 2003): the AVF of a structure is
+the probability that a fault in it affects the program outcome.  This
+module derives empirical AVFs from injection campaigns:
+
+* per architectural register (which registers matter most),
+* per bit position (high pointer bits vs low data bits),
+* per binding role (ADDRESS vs CONTROL vs DATA),
+
+with Wilson confidence intervals, since campaign cells can be small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.outcomes import Outcome, wilson_interval
+from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, Role
+
+
+def _affects_outcome(outcome: Outcome) -> bool:
+    """AVF counts any visible deviation: SDC, crash or hang."""
+    return outcome is not Outcome.MASKED
+
+
+@dataclass(frozen=True)
+class AVFEstimate:
+    """One empirical AVF with its confidence interval."""
+
+    label: str
+    affected: int
+    total: int
+
+    @property
+    def avf(self) -> float:
+        """Point estimate of the vulnerability factor."""
+        if self.total == 0:
+            return 0.0
+        return self.affected / self.total
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """95% Wilson interval."""
+        return wilson_interval(self.affected, self.total)
+
+
+def register_avf(campaign: CampaignResult) -> list[AVFEstimate]:
+    """Empirical AVF of each architectural register."""
+    affected = np.zeros(NUM_REGISTERS, dtype=np.int64)
+    totals = np.zeros(NUM_REGISTERS, dtype=np.int64)
+    for result in campaign.results:
+        register = result.plan.register
+        totals[register] += 1
+        if _affects_outcome(result.outcome):
+            affected[register] += 1
+    return [
+        AVFEstimate(label=f"r{index}", affected=int(affected[index]), total=int(totals[index]))
+        for index in range(NUM_REGISTERS)
+    ]
+
+
+def bit_avf(campaign: CampaignResult, bucket_size: int = 8) -> list[AVFEstimate]:
+    """Empirical AVF per bit bucket (e.g. bits 0-7, 8-15, ...).
+
+    Bit position matters physically: flips in high pointer bits nearly
+    always leave the address space, flips in low data bits ride through
+    truncating stores.
+    """
+    if REGISTER_BITS % bucket_size != 0:
+        raise ValueError(f"bucket_size must divide {REGISTER_BITS}")
+    n_buckets = REGISTER_BITS // bucket_size
+    affected = np.zeros(n_buckets, dtype=np.int64)
+    totals = np.zeros(n_buckets, dtype=np.int64)
+    for result in campaign.results:
+        bucket = result.plan.bit // bucket_size
+        totals[bucket] += 1
+        if _affects_outcome(result.outcome):
+            affected[bucket] += 1
+    return [
+        AVFEstimate(
+            label=f"bits {index * bucket_size}-{(index + 1) * bucket_size - 1}",
+            affected=int(affected[index]),
+            total=int(totals[index]),
+        )
+        for index in range(n_buckets)
+    ]
+
+
+def role_avf(campaign: CampaignResult) -> list[AVFEstimate]:
+    """Empirical AVF per binding role of the value the flip hit.
+
+    Injections that landed in empty or stale registers have no role and
+    are reported under ``dead``.
+    """
+    buckets: dict[str, list[int]] = {
+        role.value: [0, 0] for role in Role
+    }
+    buckets["dead"] = [0, 0]
+    for result in campaign.results:
+        role = result.record.role
+        key = role.value if (role is not None and result.record.hit_live_value) else "dead"
+        buckets[key][1] += 1
+        if _affects_outcome(result.outcome):
+            buckets[key][0] += 1
+    return [
+        AVFEstimate(label=key, affected=affected, total=total)
+        for key, (affected, total) in buckets.items()
+    ]
+
+
+def workload_avf(campaign: CampaignResult) -> AVFEstimate:
+    """Overall AVF of the workload for this register kind."""
+    affected = sum(1 for r in campaign.results if _affects_outcome(r.outcome))
+    return AVFEstimate(
+        label=campaign.config.kind.value, affected=affected, total=len(campaign.results)
+    )

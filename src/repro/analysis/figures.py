@@ -1,0 +1,71 @@
+"""Plain-text figure rendering for terminals and logs.
+
+The benchmark harness and examples print their results as text; these
+helpers render the paper's curve figures (convergence trends, ED CDFs,
+histograms) as compact ASCII panels so a log file carries the shape of
+the figure, not just point samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyphs for one-line sparklines, lowest to highest.
+_SPARKS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a series as a one-line sparkline."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        # Downsample by block means to the target width.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array([data[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a])
+    lo = float(data.min()) if lo is None else lo
+    hi = float(data.max()) if hi is None else hi
+    if hi - lo < 1e-12:
+        return _SPARKS[0] * data.size
+    scaled = (data - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARKS) - 1)).round().astype(int), 0, len(_SPARKS) - 1)
+    return "".join(_SPARKS[i] for i in indices)
+
+
+def render_series(
+    label: str,
+    xs,
+    ys,
+    width: int = 60,
+    as_percent: bool = True,
+) -> str:
+    """One labelled sparkline row with its end-point values."""
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if ys.size == 0:
+        return f"{label:12s} (empty)"
+    scale = 100.0 if as_percent else 1.0
+    unit = "%" if as_percent else ""
+    return (
+        f"{label:12s} [{sparkline(ys, width, lo=0.0, hi=max(1e-9, float(ys.max())))}] "
+        f"{ys[0] * scale:5.1f}{unit} -> {ys[-1] * scale:5.1f}{unit}"
+    )
+
+
+def render_histogram(values, n_bins: int | None = None, width: int = 60) -> str:
+    """Render a bar histogram (e.g. injections per register) as one line."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return "(empty)"
+    return sparkline(data, width=min(width, data.size), lo=0.0)
+
+
+def render_cdf_panel(curves: dict[str, tuple[np.ndarray, np.ndarray]], width: int = 60) -> str:
+    """Render several CDF curves (label -> (xs, ys)) as stacked sparkrows."""
+    lines = []
+    for label, (xs, ys) in curves.items():
+        ys = np.asarray(ys, dtype=np.float64)
+        lines.append(
+            f"  {label:10s} [{sparkline(ys, width, lo=0.0, hi=100.0)}] "
+            f"top {ys[-1]:5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Serialization and report formatting for experiment results.
+
+Campaign and experiment outputs are written as JSON so long runs can be
+archived, diffed across code versions, and compared against the paper's
+numbers without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.outcomes import OutcomeCounts
+
+
+def counts_to_dict(counts: OutcomeCounts) -> dict[str, Any]:
+    """Serializable view of outcome counts and rates."""
+    return {
+        "total": counts.total,
+        "masked": counts.masked,
+        "sdc": counts.sdc,
+        "crash_segv": counts.crash_segv,
+        "crash_abort": counts.crash_abort,
+        "hang": counts.hang,
+        "rates": counts.rates(),
+    }
+
+
+def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
+    """Serializable summary of a campaign (without SDC images)."""
+    return {
+        "n_injections": campaign.config.n_injections,
+        "kind": campaign.config.kind.value,
+        "seed": campaign.config.seed,
+        "site_filter": campaign.config.site_filter,
+        "counts": counts_to_dict(campaign.counts),
+        "register_histogram": campaign.register_histogram.tolist(),
+        "bit_histogram": campaign.bit_histogram.tolist(),
+        "records": [
+            {
+                "target_cycle": result.plan.target_cycle,
+                "register": result.plan.register,
+                "bit": result.plan.bit,
+                "fired": result.record.fired,
+                "site": result.record.site,
+                "binding": result.record.binding_name,
+                "role": result.record.role.value if result.record.role else None,
+                "effect": result.record.effect.value if result.record.effect else None,
+                "outcome": result.outcome.value,
+                "crash_kind": result.crash_kind.value if result.crash_kind else None,
+            }
+            for result in campaign.results
+        ],
+    }
+
+
+def save_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a result payload as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Load a previously saved result payload."""
+    return json.loads(Path(path).read_text())
+
+
+def markdown_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)

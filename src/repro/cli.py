@@ -1,0 +1,235 @@
+"""Command-line interface for the repro library.
+
+Subcommands mirror the library's main workflows::
+
+    python -m repro.cli summarize --input input2 --out panorama.pgm
+    python -m repro.cli campaign  --input input1 --kind gpr -n 200
+    python -m repro.cli events    --frames 32 --out overlay.pgm
+    python -m repro.cli experiment fig10 --scale tiny
+    python -m repro.cli protect   --input input2 -n 200 --tolerance 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.experiments import scale_from_env
+from repro.analysis.reporting import campaign_to_dict, save_json
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.registers import RegKind
+from repro.imaging.io import save_pgm
+from repro.runtime.context import ExecutionContext
+from repro.summarize.approximations import ALGORITHM_FACTORIES, config_for
+from repro.summarize.golden import golden_run
+from repro.summarize.pipeline import run_vs
+from repro.video.synthetic import make_event_input, make_input
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--input", default="input2", choices=["input1", "input2"], help="synthetic input"
+    )
+    parser.add_argument("--frames", type=int, default=48, help="frames to generate")
+    parser.add_argument(
+        "--algorithm",
+        default="VS",
+        choices=list(ALGORITHM_FACTORIES),
+        help="VS variant to run",
+    )
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    """Run coverage summarization and save the panorama."""
+    stream = make_input(args.input, n_frames=args.frames)
+    config = config_for(args.algorithm)
+    ctx = ExecutionContext()
+    result = run_vs(stream, config, ctx)
+    print(
+        f"{config.name} on {args.input}: stitched={result.frames_stitched} "
+        f"discarded={result.frames_discarded} minis={result.num_minis} "
+        f"cycles={ctx.cycles / 1e6:.1f}M"
+    )
+    if args.out:
+        save_pgm(args.out, result.panorama)
+        print(f"panorama written to {args.out}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign and print the resiliency profile."""
+    stream = make_input(args.input, n_frames=args.frames)
+    config = config_for(args.algorithm)
+    golden = golden_run(stream, config)
+
+    def workload(ctx: ExecutionContext) -> np.ndarray:
+        return run_vs(stream, config, ctx).panorama
+
+    kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
+    campaign = run_campaign(
+        workload,
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(
+            n_injections=args.n, kind=kind, seed=args.seed, keep_sdc_outputs=False
+        ),
+    )
+    counts = campaign.counts
+    print(f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections:")
+    for name, rate in counts.rates().items():
+        print(f"  {name:6s} {rate:7.2%}")
+    if counts.crash:
+        print(f"  crashes: {counts.crash_segv} segv / {counts.crash_abort} abort")
+    if args.out:
+        save_json(args.out, campaign_to_dict(campaign))
+        print(f"full record written to {args.out}")
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Run the full coverage + event summarization workflow."""
+    from repro.events.pipeline import run_full_summarization
+
+    event_input = make_event_input(n_frames=args.frames, n_objects=args.objects)
+    summary = run_full_summarization(
+        event_input.stream, config_for(args.algorithm), ExecutionContext()
+    )
+    print(
+        f"coverage: stitched={summary.coverage.frames_stitched} "
+        f"minis={summary.coverage.num_minis}; tracks={summary.num_tracks}"
+    )
+    for track in summary.tracks:
+        print(
+            f"  track {track.track_id}: {len(track.points)} observations, "
+            f"frames {track.points[0].frame_index}-{track.points[-1].frame_index}"
+        )
+    if args.out and summary.overlay is not None:
+        save_pgm(args.out, summary.overlay)
+        print(f"overlay written to {args.out}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one paper experiment by figure name."""
+    import os
+
+    from repro.analysis import experiments
+
+    os.environ.setdefault("REPRO_SCALE", args.scale)
+    scale = scale_from_env(default=args.scale)
+    entry_points = {
+        "fig05": experiments.fig05_perf_energy,
+        "fig06": experiments.fig06_output_quality,
+        "fig08": experiments.fig08_profile,
+        "fig09": experiments.fig09_coverage,
+        "fig10": experiments.fig10_resiliency,
+        "fig11a": experiments.fig11a_approx_resiliency,
+        "fig11b": experiments.fig11b_hot_function,
+        "fig12": experiments.fig12_sdc_quality,
+        "fig13": experiments.fig13_diff_visualization,
+    }
+    result = entry_points[args.figure](scale)
+    print(f"{args.figure} at scale {scale.name}: done")
+    # Structured results print compactly via their dataclass reprs.
+    if isinstance(result, list):
+        for item in result:
+            print(f"  {item}")
+    else:
+        print(f"  {result}")
+    return 0
+
+
+def cmd_protect(args: argparse.Namespace) -> int:
+    """Plan selective protection from a fresh campaign."""
+    from repro.protection import plan_protection, symptom_coverage
+    from repro.quality import compare_outputs
+
+    stream = make_input(args.input, n_frames=args.frames)
+    config = config_for(args.algorithm)
+    golden = golden_run(stream, config)
+
+    def workload(ctx: ExecutionContext) -> np.ndarray:
+        return run_vs(stream, config, ctx).panorama
+
+    campaign = run_campaign(
+        workload,
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(n_injections=args.n, kind=RegKind.GPR, seed=args.seed),
+    )
+    qualities = {
+        index: compare_outputs(golden.output, result.output)
+        for index, result in enumerate(campaign.results)
+        if result.is_sdc and result.output is not None
+    }
+    coverage = symptom_coverage(campaign)
+    plan = plan_protection(campaign, qualities, golden.profile, ed_tolerance=args.tolerance)
+    cls = plan.classification
+    print(f"symptom detectors catch {coverage.detector_coverage:.0%} of harmful outcomes")
+    print(
+        f"SDCs: {cls.sdc_total} total, {cls.tolerable_sdc} tolerable at ED<={args.tolerance} "
+        f"({cls.tolerable_fraction:.0%})"
+    )
+    print(f"protected scopes: {sorted(plan.protected_scopes) or 'none'}")
+    print(f"modelled runtime overhead: {plan.runtime_overhead:.1%} "
+          f"(vs 100% for full duplication)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = subparsers.add_parser("summarize", help="run coverage summarization")
+    _add_input_arguments(p_sum)
+    p_sum.add_argument("--out", type=Path, default=None, help="output PGM path")
+    p_sum.set_defaults(func=cmd_summarize)
+
+    p_camp = subparsers.add_parser("campaign", help="run a fault-injection campaign")
+    _add_input_arguments(p_camp)
+    p_camp.add_argument("-n", type=int, default=100, help="injections")
+    p_camp.add_argument("--kind", default="gpr", choices=["gpr", "fpr"])
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
+    p_camp.set_defaults(func=cmd_campaign)
+
+    p_events = subparsers.add_parser("events", help="full summarization with tracking")
+    p_events.add_argument("--frames", type=int, default=32)
+    p_events.add_argument("--objects", type=int, default=3)
+    p_events.add_argument(
+        "--algorithm", default="VS", choices=list(ALGORITHM_FACTORIES)
+    )
+    p_events.add_argument("--out", type=Path, default=None, help="overlay PGM path")
+    p_events.set_defaults(func=cmd_events)
+
+    p_exp = subparsers.add_parser("experiment", help="run one paper experiment")
+    p_exp.add_argument(
+        "figure",
+        choices=["fig05", "fig06", "fig08", "fig09", "fig10", "fig11a", "fig11b", "fig12", "fig13"],
+    )
+    p_exp.add_argument("--scale", default="tiny", choices=["tiny", "quick", "medium", "paper"])
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_prot = subparsers.add_parser("protect", help="plan selective protection")
+    _add_input_arguments(p_prot)
+    p_prot.add_argument("-n", type=int, default=150, help="injections")
+    p_prot.add_argument("--seed", type=int, default=0)
+    p_prot.add_argument("--tolerance", type=int, default=10, help="ED tolerance")
+    p_prot.set_defaults(func=cmd_protect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Event summarization: detection, tracking and panorama overlay."""
+
+from repro.events.detection import Detection, detect_moving_objects
+from repro.events.overlay import overlay_tracks
+from repro.events.pipeline import FullSummary, run_full_summarization
+from repro.events.tracking import NearestNeighbourTracker, Track, TrackPoint
+
+__all__ = [
+    "Detection",
+    "detect_moving_objects",
+    "NearestNeighbourTracker",
+    "Track",
+    "TrackPoint",
+    "overlay_tracks",
+    "FullSummary",
+    "run_full_summarization",
+]

@@ -1,0 +1,94 @@
+"""Moving-object detection by aligned frame differencing.
+
+The paper's event-summarization branch (Fig. 2) detects moving objects
+such as vehicles and pedestrians.  With a moving camera, consecutive
+frames must first be registered; the pipeline already estimates those
+transforms for coverage summarization, so detection warps the previous
+frame into the current frame's coordinates, differences the overlap and
+extracts connected components of significant change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.imaging.image import as_gray, blank
+from repro.imaging.warp import warp_into
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected moving blob, in current-frame pixel coordinates."""
+
+    x: float  # centroid
+    y: float
+    area: int  # pixels above threshold
+    bbox: tuple[int, int, int, int]  # (x0, y0, x1, y1), exclusive upper bounds
+
+
+def detect_moving_objects(
+    current: np.ndarray,
+    previous: np.ndarray,
+    prev_to_cur: np.ndarray,
+    ctx: ExecutionContext,
+    diff_threshold: int = 60,
+    min_area: int = 4,
+    max_detections: int = 16,
+) -> list[Detection]:
+    """Detect movers between two registered frames.
+
+    ``prev_to_cur`` maps previous-frame pixel coordinates into the
+    current frame.  Returns the detections sorted by descending area.
+    """
+    current = as_gray(current)
+    previous = as_gray(previous)
+    frame_h, frame_w = current.shape
+
+    # Register the previous frame onto the current one.
+    warped_prev = blank(frame_h, frame_w)
+    coverage = blank(frame_h, frame_w)
+    warp_into(warped_prev, coverage, previous, prev_to_cur, ctx)
+
+    with ctx.scope("events.detect.diff"):
+        ctx.tick(kernel_cost("events.diff_px") * frame_h * frame_w)
+        overlap = coverage > 0
+        diff = np.abs(current.astype(np.int16) - warped_prev.astype(np.int16))
+        motion = (diff > diff_threshold) & overlap
+
+    with ctx.scope("events.detect.label"):
+        ctx.tick(kernel_cost("events.label_px") * frame_h * frame_w)
+        # Morphological opening removes single-pixel registration noise.
+        cleaned = ndimage.binary_opening(motion, structure=np.ones((2, 2), dtype=bool))
+        labels, n_blobs = ndimage.label(cleaned)
+        if n_blobs == 0:
+            return []
+        slices = ndimage.find_objects(labels)
+        detections = []
+        for blob_index, blob_slice in enumerate(slices, start=1):
+            mask = labels[blob_slice] == blob_index
+            area = int(mask.sum())
+            if area < min_area:
+                continue
+            ys, xs = np.nonzero(mask)
+            y0, x0 = blob_slice[0].start, blob_slice[1].start
+            detections.append(
+                Detection(
+                    x=float(xs.mean() + x0),
+                    y=float(ys.mean() + y0),
+                    area=area,
+                    bbox=(
+                        x0,
+                        y0,
+                        blob_slice[1].stop,
+                        blob_slice[0].stop,
+                    ),
+                )
+            )
+
+    detections.sort(key=lambda d: -d.area)
+    return detections[:max_detections]

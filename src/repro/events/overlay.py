@@ -1,0 +1,59 @@
+"""Track overlay on the coverage panorama.
+
+The final integration step of the paper's workflow (Fig. 2): "both
+intermediate results are integrated by overlaying the tracks (of moving
+objects) on the panorama to create a comprehensive and concise
+summarization of a whole UAV video".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.draw import draw_line, fill_disk
+from repro.imaging.image import saturate_cast_u8
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+from repro.events.tracking import Track
+
+#: Rendered tone of track polylines (near-white).
+TRACK_TONE = 255.0
+
+#: Rendered tone of track endpoints.
+ENDPOINT_TONE = 0.0
+
+
+def overlay_tracks(
+    panorama: np.ndarray,
+    tracks: list[Track],
+    ctx: ExecutionContext,
+    mini_canvas_h: int | None = None,
+) -> np.ndarray:
+    """Draw confirmed tracks onto a copy of the (stacked) panorama.
+
+    Track coordinates live in their mini-panorama's canvas; for a
+    stacked output image, ``mini_canvas_h`` offsets each track by its
+    mini index.
+    """
+    field = panorama.astype(np.float64)
+    height, width = field.shape
+    for track in tracks:
+        if not track.confirmed or len(track.points) < 2:
+            continue
+        offset_y = track.mini_index * mini_canvas_h if mini_canvas_h else 0
+        with ctx.scope("events.overlay.draw"):
+            ctx.tick(kernel_cost("events.overlay_px") * 64 * len(track.points))
+        for a, b in zip(track.points, track.points[1:]):
+            draw_line(
+                field,
+                a.x,
+                a.y + offset_y,
+                b.x,
+                b.y + offset_y,
+                value=TRACK_TONE,
+                thickness=1,
+            )
+        head = track.points[-1]
+        fill_disk(field, head.x, head.y + offset_y, 2.5, ENDPOINT_TONE)
+        fill_disk(field, head.x, head.y + offset_y, 1.2, TRACK_TONE)
+    return saturate_cast_u8(np.clip(field, 0, 255))

@@ -1,0 +1,149 @@
+"""Multi-object tracking over panorama-space detections.
+
+A light nearest-neighbour tracker with constant-velocity prediction and
+tentative/confirmed/lost track states — the "tracking of moving objects"
+stage of the paper's event summarization (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+
+
+@dataclass
+class TrackPoint:
+    """One confirmed observation of a track."""
+
+    frame_index: int
+    x: float  # panorama-canvas coordinates
+    y: float
+
+
+@dataclass
+class Track:
+    """One tracked moving object."""
+
+    track_id: int
+    mini_index: int  # which mini-panorama the track lives in
+    points: list[TrackPoint] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    confirmed: bool = False
+
+    @property
+    def last(self) -> TrackPoint:
+        """Most recent observation."""
+        return self.points[-1]
+
+    def velocity(self) -> tuple[float, float]:
+        """Estimated per-frame velocity from the last two observations."""
+        if len(self.points) < 2:
+            return 0.0, 0.0
+        a, b = self.points[-2], self.points[-1]
+        gap = max(1, b.frame_index - a.frame_index)
+        return (b.x - a.x) / gap, (b.y - a.y) / gap
+
+    def predict(self, frame_index: int) -> tuple[float, float]:
+        """Constant-velocity position prediction."""
+        vx, vy = self.velocity()
+        gap = frame_index - self.last.frame_index
+        return self.last.x + vx * gap, self.last.y + vy * gap
+
+
+class NearestNeighbourTracker:
+    """Greedy gated nearest-neighbour data association."""
+
+    def __init__(
+        self,
+        gate_distance: float = 18.0,
+        confirm_after: int = 2,
+        drop_after_misses: int = 4,
+    ) -> None:
+        self.gate_distance = gate_distance
+        self.confirm_after = confirm_after
+        self.drop_after_misses = drop_after_misses
+        self.active: list[Track] = []
+        self.finished: list[Track] = []
+        self._next_id = 0
+
+    def update(
+        self,
+        detections: list[tuple[float, float]],
+        frame_index: int,
+        mini_index: int,
+        ctx: ExecutionContext,
+    ) -> None:
+        """Associate panorama-space detections with tracks."""
+        with ctx.scope("events.track.associate"):
+            ctx.tick(
+                kernel_cost("events.track_det")
+                * max(1, len(detections))
+                * max(1, len(self.active))
+            )
+        candidates = [t for t in self.active if t.mini_index == mini_index]
+        unmatched = list(range(len(detections)))
+        # Greedy association: closest (track, detection) pairs first.
+        pairs: list[tuple[float, Track, int]] = []
+        for track in candidates:
+            px, py = track.predict(frame_index)
+            for det_index in unmatched:
+                dx, dy = detections[det_index]
+                distance = float(np.hypot(dx - px, dy - py))
+                if distance <= self.gate_distance:
+                    pairs.append((distance, track, det_index))
+        pairs.sort(key=lambda item: item[0])
+
+        matched_tracks: set[int] = set()
+        matched_dets: set[int] = set()
+        for _distance, track, det_index in pairs:
+            if id(track) in matched_tracks or det_index in matched_dets:
+                continue
+            matched_tracks.add(id(track))
+            matched_dets.add(det_index)
+            dx, dy = detections[det_index]
+            track.points.append(TrackPoint(frame_index, dx, dy))
+            track.hits += 1
+            track.misses = 0
+            if track.hits >= self.confirm_after:
+                track.confirmed = True
+
+        # Unmatched existing tracks accumulate misses.
+        still_active = []
+        for track in self.active:
+            if track.mini_index != mini_index:
+                still_active.append(track)
+                continue
+            if id(track) not in matched_tracks:
+                track.misses += 1
+            if track.misses > self.drop_after_misses:
+                self._retire(track)
+            else:
+                still_active.append(track)
+        self.active = still_active
+
+        # Unmatched detections spawn tentative tracks.
+        for det_index in range(len(detections)):
+            if det_index in matched_dets:
+                continue
+            dx, dy = detections[det_index]
+            track = Track(track_id=self._next_id, mini_index=mini_index)
+            track.points.append(TrackPoint(frame_index, dx, dy))
+            track.hits = 1
+            self._next_id += 1
+            self.active.append(track)
+
+    def _retire(self, track: Track) -> None:
+        if track.confirmed:
+            self.finished.append(track)
+
+    def finish(self) -> list[Track]:
+        """Close all tracks; returns every confirmed track."""
+        for track in self.active:
+            self._retire(track)
+        self.active = []
+        return sorted(self.finished, key=lambda t: t.track_id)

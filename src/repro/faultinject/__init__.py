@@ -1,0 +1,63 @@
+"""Architectural fault-injection framework (the paper's AFI analog)."""
+
+from repro.faultinject.addrspace import AddressSpace, Allocation, PAGE_SIZE
+from repro.faultinject.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.faultinject.injector import CensusProbe, FaultInjector, InjectionPlan, InjectionRecord, random_plan
+from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
+from repro.faultinject.outcomes import (
+    CrashKind,
+    Outcome,
+    OutcomeCounts,
+    RunningRates,
+    classify_exception,
+    wilson_interval,
+)
+from repro.faultinject.registers import (
+    NUM_REGISTERS,
+    REGISTER_BITS,
+    FlipEffect,
+    LivenessModel,
+    RegisterFileState,
+    RegisterWindow,
+    RegKind,
+    Role,
+    SlotCensus,
+    flip_bit64,
+    flip_float64_bit,
+    slot_for,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "FaultMonitor",
+    "InjectionResult",
+    "Workload",
+    "CrashKind",
+    "Outcome",
+    "OutcomeCounts",
+    "RunningRates",
+    "classify_exception",
+    "wilson_interval",
+    "AddressSpace",
+    "Allocation",
+    "PAGE_SIZE",
+    "FaultInjector",
+    "InjectionPlan",
+    "InjectionRecord",
+    "CensusProbe",
+    "random_plan",
+    "NUM_REGISTERS",
+    "REGISTER_BITS",
+    "FlipEffect",
+    "LivenessModel",
+    "RegisterFileState",
+    "RegisterWindow",
+    "RegKind",
+    "Role",
+    "SlotCensus",
+    "flip_bit64",
+    "flip_float64_bit",
+    "slot_for",
+]

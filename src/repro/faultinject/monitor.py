@@ -1,0 +1,104 @@
+"""The Fault Monitor: run one injected execution and classify its outcome.
+
+The analog of AFI's second module (paper Section V-B): continue the
+program after the injection, capture a potential hang or crash, and —
+when the program finishes normally — invoke the result-checking
+procedure that compares the output with the golden output to decide
+between Masked and SDC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.faultinject.injector import FaultInjector, InjectionPlan, InjectionRecord
+from repro.faultinject.outcomes import CrashKind, Outcome, classify_exception
+from repro.faultinject.registers import LivenessModel
+from repro.imaging.image import images_equal
+from repro.runtime.context import ExecutionContext
+
+#: Default watchdog budget as a multiple of the golden run's cycles.
+DEFAULT_HANG_FACTOR = 6.0
+
+#: A workload maps a context to its output image.
+Workload = Callable[[ExecutionContext], np.ndarray]
+
+
+@dataclass
+class InjectionResult:
+    """Everything known about one injected run."""
+
+    plan: InjectionPlan
+    record: InjectionRecord
+    outcome: Outcome
+    crash_kind: CrashKind | None = None
+    output: np.ndarray | None = None  # the corrupted output for SDC runs
+    cycles: int = 0
+
+    @property
+    def is_sdc(self) -> bool:
+        """True for Silent Data Corruption outcomes."""
+        return self.outcome is Outcome.SDC
+
+
+class FaultMonitor:
+    """Runs workloads under injection and classifies the outcomes."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        golden_output: np.ndarray,
+        golden_cycles: int,
+        hang_factor: float = DEFAULT_HANG_FACTOR,
+        liveness: Optional[LivenessModel] = None,
+        site_filter: Optional[str] = None,
+        keep_sdc_outputs: bool = True,
+    ) -> None:
+        if golden_cycles <= 0:
+            raise ValueError(f"golden_cycles must be positive, got {golden_cycles}")
+        self.workload = workload
+        self.golden_output = golden_output
+        self.golden_cycles = golden_cycles
+        self.watchdog_cycles = int(golden_cycles * hang_factor)
+        self.liveness = liveness
+        self.site_filter = site_filter
+        self.keep_sdc_outputs = keep_sdc_outputs
+
+    def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
+        """Execute one injected run and classify the result."""
+        injector = FaultInjector(
+            plan,
+            rng=rng,
+            liveness=self.liveness,
+            site_filter=self.site_filter,
+        )
+        ctx = ExecutionContext(injector=injector, watchdog_cycles=self.watchdog_cycles)
+        try:
+            output = self.workload(ctx)
+        except Exception as exc:  # noqa: BLE001 - classified below, bugs re-raised
+            outcome, crash_kind = classify_exception(exc)
+            return InjectionResult(
+                plan=plan,
+                record=injector.record,
+                outcome=outcome,
+                crash_kind=crash_kind,
+                cycles=ctx.cycles,
+            )
+
+        if images_equal(output, self.golden_output):
+            return InjectionResult(
+                plan=plan,
+                record=injector.record,
+                outcome=Outcome.MASKED,
+                cycles=ctx.cycles,
+            )
+        return InjectionResult(
+            plan=plan,
+            record=injector.record,
+            outcome=Outcome.SDC,
+            output=output.copy() if self.keep_sdc_outputs else None,
+            cycles=ctx.cycles,
+        )

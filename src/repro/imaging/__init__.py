@@ -1,0 +1,61 @@
+"""Image substrate: containers, color, filtering, geometry and warping."""
+
+from repro.imaging.color import gray_to_rgb, rgb_to_gray
+from repro.imaging.filters import box_blur, gaussian_blur, gaussian_kernel_1d, harris_response
+from repro.imaging.geometry import (
+    apply_transform,
+    identity,
+    invert_transform,
+    is_affine,
+    normalize_homography,
+    project_corners,
+    projected_bounds,
+    rotation,
+    scaling,
+    translation,
+    validate_homography,
+)
+from repro.imaging.image import (
+    as_color,
+    as_gray,
+    blank,
+    image_shape,
+    images_equal,
+    saturate_cast_u8,
+)
+from repro.imaging.io import load_pgm, load_ppm, save_frames_npz, load_frames_npz, save_pgm, save_ppm
+from repro.imaging.warp import warp_into, warp_perspective
+
+__all__ = [
+    "rgb_to_gray",
+    "gray_to_rgb",
+    "gaussian_blur",
+    "box_blur",
+    "gaussian_kernel_1d",
+    "harris_response",
+    "identity",
+    "translation",
+    "scaling",
+    "rotation",
+    "normalize_homography",
+    "validate_homography",
+    "apply_transform",
+    "invert_transform",
+    "project_corners",
+    "projected_bounds",
+    "is_affine",
+    "as_gray",
+    "as_color",
+    "blank",
+    "image_shape",
+    "images_equal",
+    "saturate_cast_u8",
+    "save_pgm",
+    "save_ppm",
+    "load_pgm",
+    "load_ppm",
+    "save_frames_npz",
+    "load_frames_npz",
+    "warp_into",
+    "warp_perspective",
+]

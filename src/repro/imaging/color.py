@@ -1,0 +1,28 @@
+"""Color-space conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import as_color, as_gray, saturate_cast_u8
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+
+#: ITU-R BT.601 luma weights, the same weighting OpenCV's cvtColor uses.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def rgb_to_gray(image: np.ndarray, ctx: ExecutionContext | None = None) -> np.ndarray:
+    """Convert an RGB image to grayscale using BT.601 luma weights."""
+    arr = as_color(image)
+    if ctx is not None:
+        with ctx.scope("imaging.color.rgb_to_gray"):
+            ctx.tick(kernel_cost("color.gray_px") * arr.shape[0] * arr.shape[1])
+    luma = arr.astype(np.float64) @ _LUMA_WEIGHTS
+    return saturate_cast_u8(luma)
+
+
+def gray_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Replicate a grayscale image into three channels."""
+    arr = as_gray(image)
+    return np.repeat(arr[:, :, np.newaxis], 3, axis=2)

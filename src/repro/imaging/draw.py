@@ -1,0 +1,54 @@
+"""Primitive rasterizers used by the synthetic-world renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fill_rect(field: np.ndarray, x: int, y: int, width: int, height: int, value: float) -> None:
+    """Fill an axis-aligned rectangle, clipped to the field."""
+    h, w = field.shape
+    x0, y0 = max(0, x), max(0, y)
+    x1, y1 = min(w, x + width), min(h, y + height)
+    if x0 < x1 and y0 < y1:
+        field[y0:y1, x0:x1] = value
+
+
+def fill_disk(field: np.ndarray, cx: float, cy: float, radius: float, value: float) -> None:
+    """Fill a disk, clipped to the field."""
+    h, w = field.shape
+    x0 = max(0, int(np.floor(cx - radius)))
+    x1 = min(w, int(np.ceil(cx + radius)) + 1)
+    y0 = max(0, int(np.floor(cy - radius)))
+    y1 = min(h, int(np.ceil(cy + radius)) + 1)
+    if x0 >= x1 or y0 >= y1:
+        return
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    mask = (xs - cx) ** 2 + (ys - cy) ** 2 <= radius**2
+    field[y0:y1, x0:x1][mask] = value
+
+
+def draw_line(
+    field: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    value: float,
+    thickness: int = 1,
+) -> None:
+    """Draw a straight line by dense sampling (adequate for world textures)."""
+    length = float(np.hypot(x1 - x0, y1 - y0))
+    steps = max(2, int(length * 2))
+    ts = np.linspace(0.0, 1.0, steps)
+    xs = x0 + ts * (x1 - x0)
+    ys = y0 + ts * (y1 - y0)
+    half = max(0, thickness // 2)
+    h, w = field.shape
+    for px, py in zip(xs, ys):
+        cx0 = max(0, int(px) - half)
+        cx1 = min(w, int(px) + half + 1)
+        cy0 = max(0, int(py) - half)
+        cy1 = min(h, int(py) + half + 1)
+        if cx0 < cx1 and cy0 < cy1:
+            field[cy0:cy1, cx0:cx1] = value

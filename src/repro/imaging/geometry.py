@@ -1,0 +1,132 @@
+"""Homogeneous 2-D geometry: transforms, point mapping, bounds projection.
+
+Transforms are 3x3 float64 matrices acting on homogeneous pixel
+coordinates ``(x, y, 1)``.  Affine transforms are represented as 3x3
+matrices whose last row is ``(0, 0, 1)`` so that the whole pipeline
+composes transforms uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.errors import DegenerateModelError
+
+#: Treat a homography as unusable if |det| of the upper-left 2x2 falls
+#: below this bound (collapses the image onto a line).
+_MIN_UPPER_DET = 1e-8
+
+
+def identity() -> np.ndarray:
+    """Return the 3x3 identity transform."""
+    return np.eye(3, dtype=np.float64)
+
+
+def translation(tx: float, ty: float) -> np.ndarray:
+    """Return a translation transform."""
+    mat = np.eye(3, dtype=np.float64)
+    mat[0, 2] = tx
+    mat[1, 2] = ty
+    return mat
+
+
+def scaling(sx: float, sy: float | None = None) -> np.ndarray:
+    """Return a scaling transform (isotropic when ``sy`` is omitted)."""
+    if sy is None:
+        sy = sx
+    mat = np.eye(3, dtype=np.float64)
+    mat[0, 0] = sx
+    mat[1, 1] = sy
+    return mat
+
+
+def rotation(angle_rad: float, center: tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
+    """Return a rotation transform about ``center``."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    cx, cy = center
+    rot = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    return translation(cx, cy) @ rot @ translation(-cx, -cy)
+
+
+def normalize_homography(mat: np.ndarray) -> np.ndarray:
+    """Scale a homography so that its (2, 2) entry is 1."""
+    mat = np.asarray(mat, dtype=np.float64)
+    if mat.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 matrix, got shape {mat.shape}")
+    pivot = mat[2, 2]
+    if abs(pivot) < 1e-12:
+        raise DegenerateModelError("homography has a vanishing (2,2) entry")
+    return mat / pivot
+
+
+def validate_homography(mat: np.ndarray) -> np.ndarray:
+    """Check a homography for NaNs and degeneracy; return it normalized.
+
+    Raises :class:`DegenerateModelError` for numerically unusable models.
+    Corrupted register state flowing into a transform matrix is caught
+    here (and surfaces as an *Abort* crash in injection campaigns when
+    the caller treats it as a precondition violation).
+    """
+    mat = np.asarray(mat, dtype=np.float64)
+    if mat.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 matrix, got shape {mat.shape}")
+    if not np.all(np.isfinite(mat)):
+        raise DegenerateModelError("homography contains non-finite entries")
+    mat = normalize_homography(mat)
+    upper_det = mat[0, 0] * mat[1, 1] - mat[0, 1] * mat[1, 0]
+    if abs(upper_det) < _MIN_UPPER_DET:
+        raise DegenerateModelError(f"homography is rank deficient (det={upper_det:.3e})")
+    return mat
+
+
+def apply_transform(mat: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Map ``(n, 2)`` points through a 3x3 transform.
+
+    Raises :class:`DegenerateModelError` when any mapped point lands at
+    infinity (vanishing homogeneous coordinate).
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {pts.shape}")
+    homo = np.hstack([pts, np.ones((pts.shape[0], 1))])
+    mapped = homo @ np.asarray(mat, dtype=np.float64).T
+    w = mapped[:, 2]
+    if np.any(np.abs(w) < 1e-12):
+        raise DegenerateModelError("transformed point at infinity")
+    return mapped[:, :2] / w[:, np.newaxis]
+
+
+def invert_transform(mat: np.ndarray) -> np.ndarray:
+    """Invert a 3x3 transform, normalizing the result."""
+    mat = np.asarray(mat, dtype=np.float64)
+    try:
+        inv = np.linalg.inv(mat)
+    except np.linalg.LinAlgError as exc:
+        raise DegenerateModelError(f"transform is singular: {exc}") from exc
+    if not np.all(np.isfinite(inv)):
+        raise DegenerateModelError("transform inverse is non-finite")
+    return normalize_homography(inv)
+
+
+def project_corners(mat: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Map the four corners of a ``width x height`` image; returns (4, 2)."""
+    corners = np.array(
+        [[0.0, 0.0], [width - 1.0, 0.0], [width - 1.0, height - 1.0], [0.0, height - 1.0]]
+    )
+    return apply_transform(mat, corners)
+
+
+def projected_bounds(mat: np.ndarray, width: int, height: int) -> tuple[float, float, float, float]:
+    """Return ``(min_x, min_y, max_x, max_y)`` of the projected image corners."""
+    corners = project_corners(mat, width, height)
+    mins = corners.min(axis=0)
+    maxs = corners.max(axis=0)
+    return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+
+def is_affine(mat: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when the transform's last row is (0, 0, 1) within ``tol``."""
+    mat = np.asarray(mat, dtype=np.float64)
+    return bool(
+        abs(mat[2, 0]) <= tol and abs(mat[2, 1]) <= tol and abs(mat[2, 2] - 1.0) <= tol
+    )

@@ -1,0 +1,74 @@
+"""Core image representation and the saturating uint8 cast.
+
+Images are plain numpy arrays: grayscale images are ``(h, w) uint8`` and
+color images are ``(h, w, 3) uint8``.  The saturating cast is the single
+most important masking mechanism for floating-point faults in the paper
+(Section VI-A): pixel math is done in float and converted back to uint8
+through saturation, which absorbs most single-bit FP corruptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def saturate_cast_u8(values: np.ndarray | float) -> np.ndarray:
+    """Convert float values to uint8 with clamping to [0, 255].
+
+    Mirrors OpenCV's ``saturate_cast<uchar>``: NaNs become 0, values are
+    rounded half-away-from-zero and clamped.  This cast is applied at the
+    end of every pixel-producing kernel and masks the majority of
+    floating-point register corruptions.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    arr = np.nan_to_num(arr, nan=0.0, posinf=255.0, neginf=0.0)
+    rounded = np.floor(arr + 0.5)
+    return np.clip(rounded, 0.0, 255.0).astype(np.uint8)
+
+
+def as_gray(image: np.ndarray) -> np.ndarray:
+    """Validate and return a grayscale ``(h, w) uint8`` image."""
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a (h, w) grayscale image, got shape {arr.shape}")
+    if arr.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {arr.dtype}")
+    return arr
+
+
+def as_color(image: np.ndarray) -> np.ndarray:
+    """Validate and return a color ``(h, w, 3) uint8`` image."""
+    arr = np.asarray(image)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected a (h, w, 3) color image, got shape {arr.shape}")
+    if arr.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {arr.dtype}")
+    return arr
+
+
+def blank(height: int, width: int, channels: int = 1, fill: int = 0) -> np.ndarray:
+    """Allocate a blank uint8 image."""
+    if height <= 0 or width <= 0:
+        raise ValueError(f"image dimensions must be positive, got {height}x{width}")
+    if channels == 1:
+        shape: tuple[int, ...] = (height, width)
+    else:
+        shape = (height, width, channels)
+    return np.full(shape, fill, dtype=np.uint8)
+
+
+def image_shape(image: np.ndarray) -> tuple[int, int]:
+    """Return ``(height, width)`` for a gray or color image."""
+    arr = np.asarray(image)
+    if arr.ndim not in (2, 3):
+        raise ValueError(f"not an image: shape {arr.shape}")
+    return int(arr.shape[0]), int(arr.shape[1])
+
+
+def images_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact pixel equality, the paper's SDC check (any difference = SDC)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a, b))

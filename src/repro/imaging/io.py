@@ -1,0 +1,80 @@
+"""Minimal image file I/O: binary PGM/PPM plus numpy archives.
+
+No external codecs are available offline, so panoramas and diagnostic
+images are written as netpbm files (viewable almost anywhere) and
+experiment artifacts as ``.npz`` archives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.image import as_color, as_gray
+
+
+def save_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write a grayscale image as binary PGM (P5)."""
+    arr = as_gray(image)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + arr.tobytes())
+
+
+def save_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write a color image as binary PPM (P6)."""
+    arr = as_color(image)
+    header = f"P6\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + arr.tobytes())
+
+
+def _parse_netpbm(data: bytes, magic: bytes, channels: int) -> np.ndarray:
+    if not data.startswith(magic):
+        raise ValueError(f"not a {magic.decode()} netpbm file")
+    # Header tokens: magic, width, height, maxval — comments allowed.
+    tokens: list[bytes] = []
+    pos = 2
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        tokens.append(data[start:pos])
+    pos += 1  # single whitespace after maxval
+    width, height, maxval = (int(token) for token in tokens)
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    count = width * height * channels
+    pixels = np.frombuffer(data[pos : pos + count], dtype=np.uint8)
+    if pixels.size != count:
+        raise ValueError("truncated netpbm payload")
+    if channels == 1:
+        return pixels.reshape(height, width).copy()
+    return pixels.reshape(height, width, channels).copy()
+
+
+def load_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM (P5) grayscale image."""
+    return _parse_netpbm(Path(path).read_bytes(), b"P5", 1)
+
+
+def load_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) color image."""
+    return _parse_netpbm(Path(path).read_bytes(), b"P6", 3)
+
+
+def save_frames_npz(path: str | Path, frames: list[np.ndarray]) -> None:
+    """Save a list of frames into a compressed ``.npz`` archive."""
+    arrays = {f"frame_{index:05d}": frame for index, frame in enumerate(frames)}
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_frames_npz(path: str | Path) -> list[np.ndarray]:
+    """Load frames saved by :func:`save_frames_npz`, in order."""
+    with np.load(Path(path)) as archive:
+        return [archive[name] for name in sorted(archive.files)]

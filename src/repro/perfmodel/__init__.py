@@ -1,0 +1,36 @@
+"""Performance and energy model (cycles, IPC, energy, profiles)."""
+
+from repro.perfmodel.cost import KERNEL_CYCLES, InstructionMix, kernel_cost, mix_for_scope
+from repro.perfmodel.energy import (
+    CLOCK_HZ,
+    DYNAMIC_POWER_PER_IPC_W,
+    STATIC_POWER_W,
+    PerfEstimate,
+    estimate_from_profile,
+)
+from repro.perfmodel.profile import (
+    PROFILE_BUCKETS,
+    ProfileLine,
+    bucket_for_scope,
+    execution_profile,
+    hot_function_fraction,
+    library_fraction,
+)
+
+__all__ = [
+    "KERNEL_CYCLES",
+    "InstructionMix",
+    "kernel_cost",
+    "mix_for_scope",
+    "PerfEstimate",
+    "estimate_from_profile",
+    "CLOCK_HZ",
+    "STATIC_POWER_W",
+    "DYNAMIC_POWER_PER_IPC_W",
+    "ProfileLine",
+    "PROFILE_BUCKETS",
+    "bucket_for_scope",
+    "execution_profile",
+    "library_fraction",
+    "hot_function_fraction",
+]

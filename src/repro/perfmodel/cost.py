@@ -1,0 +1,106 @@
+"""Analytic cycle-cost model for every kernel in the library.
+
+The paper measures IPC, execution time and energy on an IBM POWER8 server
+(Fig. 5) and a ``perf`` execution profile (Fig. 8).  Neither is available
+here, so each kernel charges an analytic cycle cost per unit of work to the
+:class:`~repro.runtime.context.ExecutionContext`.  The constants below are
+calibrated so that the *relative* structure of the paper's numbers holds:
+
+* per-pixel perspective warping dominates (WarpPerspectiveInvoker was
+  54.4% of the paper's execution time),
+* descriptor matching is O(n^2) in keypoints (the lever behind VS_KDS),
+* per-frame fixed costs make total time roughly polynomial in the number
+  of frames actually stitched (the lever behind VS_RFD).
+
+All constants are cycles per unit of work.  They are deliberately kept in
+one table so that calibration is a single-file affair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cycles charged per unit of work, by kernel.  Units are noted per entry.
+KERNEL_CYCLES: dict[str, int] = {
+    # imaging -------------------------------------------------------------
+    "frame.acquire_px": 2,  # per pixel: read a frame into memory
+    "color.gray_px": 3,  # per pixel: RGB -> grayscale
+    "filter.blur_px": 4,  # per pixel per pass: separable Gaussian
+    "warp.px": 56,  # per output pixel: inverse coordinate mapping + store
+    "warp.remap_px": 18,  # per output pixel: bilinear sample gather
+    "warp.saturate_px": 3,  # per output pixel: float -> uint8 saturating store
+    "composite.px": 5,  # per pixel: blend a warped frame into a panorama
+    # vision --------------------------------------------------------------
+    "fast.px": 5,  # per pixel: FAST segment test
+    "fast.nms_kp": 40,  # per candidate keypoint: non-max suppression
+    "orb.describe_kp": 400,  # per keypoint: orientation + 256-bit BRIEF
+    "orb.harris_px": 4,  # per pixel: Harris response for keypoint ranking
+    "match.pair": 18,  # per descriptor pair: Hamming distance + compare
+    "ransac.iter": 800,  # per RANSAC iteration: sample + solve + score
+    "homography.solve": 4000,  # per final least-squares refit
+    "affine.solve": 3000,  # per affine least-squares fit
+    # events ---------------------------------------------------------------
+    "events.diff_px": 6,  # per pixel: registered frame differencing
+    "events.label_px": 4,  # per pixel: morphology + connected components
+    "events.track_det": 300,  # per (track, detection) pair: association
+    "events.overlay_px": 2,  # per drawn pixel: track overlay rendering
+    # summarize -----------------------------------------------------------
+    "pipeline.frame_overhead": 4000,  # per frame: bookkeeping, queues
+    "pipeline.anchor_update": 2000,  # per stitched frame: chain transforms
+}
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instruction-mix model of one kernel, used to derive IPC.
+
+    Fractions must sum to 1.  ``ipc`` is the per-kernel achieved IPC used
+    to convert cycles into instructions; the workload-level IPC is the
+    instruction-weighted aggregate.
+    """
+
+    int_ops: float
+    fp_ops: float
+    mem_ops: float
+    branch_ops: float
+    ipc: float
+
+    def __post_init__(self) -> None:
+        total = self.int_ops + self.fp_ops + self.mem_ops + self.branch_ops
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"instruction mix fractions sum to {total}, not 1")
+
+
+#: Instruction mix per profiling-scope prefix.  Scopes are matched by the
+#: longest prefix present in this table.
+SCOPE_MIX: dict[str, InstructionMix] = {
+    "imaging.warp": InstructionMix(0.30, 0.25, 0.35, 0.10, ipc=1.55),
+    "imaging.filters": InstructionMix(0.35, 0.20, 0.35, 0.10, ipc=1.70),
+    "imaging.color": InstructionMix(0.45, 0.10, 0.35, 0.10, ipc=1.80),
+    "imaging": InstructionMix(0.40, 0.10, 0.40, 0.10, ipc=1.60),
+    "vision.fast": InstructionMix(0.45, 0.00, 0.30, 0.25, ipc=1.65),
+    "vision.orb": InstructionMix(0.40, 0.15, 0.30, 0.15, ipc=1.50),
+    "vision.matching": InstructionMix(0.50, 0.05, 0.30, 0.15, ipc=1.60),
+    "vision.ransac": InstructionMix(0.25, 0.45, 0.20, 0.10, ipc=1.40),
+    "vision": InstructionMix(0.40, 0.20, 0.25, 0.15, ipc=1.50),
+    "summarize": InstructionMix(0.45, 0.05, 0.30, 0.20, ipc=1.45),
+    "events": InstructionMix(0.45, 0.10, 0.30, 0.15, ipc=1.55),
+    "video": InstructionMix(0.40, 0.15, 0.35, 0.10, ipc=1.70),
+    "<toplevel>": InstructionMix(0.45, 0.05, 0.30, 0.20, ipc=1.45),
+}
+
+
+def kernel_cost(name: str) -> int:
+    """Return the cycle cost per unit of work for kernel ``name``."""
+    return KERNEL_CYCLES[name]
+
+
+def mix_for_scope(scope: str) -> InstructionMix:
+    """Return the instruction mix for a profiling scope (longest prefix)."""
+    best: str | None = None
+    for prefix in SCOPE_MIX:
+        if scope.startswith(prefix) and (best is None or len(prefix) > len(best)):
+            best = prefix
+    if best is None:
+        best = "<toplevel>"
+    return SCOPE_MIX[best]

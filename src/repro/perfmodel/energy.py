@@ -1,0 +1,70 @@
+"""IPC, execution-time and energy estimates (paper Fig. 5).
+
+The paper measures IPC, execution time and energy on an IBM POWER8
+server and reports values *normalized to the baseline VS* per input.
+This module derives the same three quantities from the cycle profile:
+
+* instructions = sum over scopes of ``cycles(scope) * ipc(scope)``,
+* IPC = instructions / cycles (roughly constant across the algorithm
+  variants, as the paper observes, because the instruction mix barely
+  changes),
+* time = cycles / clock frequency,
+* power = static + dynamic-per-IPC * IPC, energy = power * time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.cost import mix_for_scope
+from repro.runtime.context import CostProfile
+
+#: Modelled core clock (Hz); POWER8 shipped at ~3.5 GHz.
+CLOCK_HZ = 3.5e9
+
+#: Static (leakage + uncore share) power of the modelled core, watts.
+STATIC_POWER_W = 8.0
+
+#: Dynamic power per unit of IPC, watts.
+DYNAMIC_POWER_PER_IPC_W = 14.0
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Performance/energy summary of one run."""
+
+    cycles: int
+    instructions: float
+    ipc: float
+    time_s: float
+    power_w: float
+    energy_j: float
+
+    def normalized_to(self, baseline: "PerfEstimate") -> dict[str, float]:
+        """IPC / time / energy relative to a baseline estimate (Fig. 5)."""
+        return {
+            "ipc": self.ipc / baseline.ipc,
+            "time": self.time_s / baseline.time_s,
+            "energy": self.energy_j / baseline.energy_j,
+        }
+
+
+def estimate_from_profile(profile: CostProfile) -> PerfEstimate:
+    """Derive the performance/energy estimate from a run's cost profile."""
+    cycles = profile.total_cycles
+    if cycles == 0:
+        raise ValueError("profile is empty; run the workload with a profile attached")
+    instructions = 0.0
+    for scope, scope_cycles in profile.by_scope().items():
+        instructions += scope_cycles * mix_for_scope(scope).ipc
+    ipc = instructions / cycles
+    time_s = cycles / CLOCK_HZ
+    power_w = STATIC_POWER_W + DYNAMIC_POWER_PER_IPC_W * ipc
+    return PerfEstimate(
+        cycles=cycles,
+        instructions=instructions,
+        ipc=ipc,
+        time_s=time_s,
+        power_w=power_w,
+        energy_j=power_w * time_s,
+    )

@@ -1,0 +1,24 @@
+"""Selective protection: symptom detectors + ED-driven planning."""
+
+from repro.protection.planning import (
+    DUPLICATION_FACTOR,
+    SYMPTOM_DETECTOR_OVERHEAD,
+    ProtectionPlan,
+    SiteClassification,
+    classify_sites,
+    full_duplication_overhead,
+    plan_protection,
+)
+from repro.protection.symptoms import SymptomCoverage, symptom_coverage
+
+__all__ = [
+    "SymptomCoverage",
+    "symptom_coverage",
+    "SiteClassification",
+    "ProtectionPlan",
+    "classify_sites",
+    "plan_protection",
+    "full_duplication_overhead",
+    "SYMPTOM_DETECTOR_OVERHEAD",
+    "DUPLICATION_FACTOR",
+]

@@ -1,0 +1,59 @@
+"""Symptom-based error detection model (SWAT-style).
+
+The paper argues (Section V-D) that crashes "can be detected using low
+cost symptom-based detectors and hence protecting error sites that
+produce crashes incurs low overhead", while SDCs need expensive
+redundancy.  This module models such detectors over campaign results:
+fatal traps (segfault, abort) and watchdog hangs are *symptoms*; SDCs
+are silent by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class SymptomCoverage:
+    """How much of a campaign's error population symptoms catch."""
+
+    total_injections: int
+    benign: int  # masked: no action needed
+    symptomatic: int  # crash + hang: caught by cheap detectors
+    silent: int  # SDCs: invisible to symptom detectors
+
+    @property
+    def detector_coverage(self) -> float:
+        """Fraction of non-benign outcomes the detectors catch."""
+        harmful = self.symptomatic + self.silent
+        if harmful == 0:
+            return 1.0
+        return self.symptomatic / harmful
+
+    @property
+    def silent_fraction(self) -> float:
+        """Fraction of all injections that end as silent corruptions."""
+        if self.total_injections == 0:
+            return 0.0
+        return self.silent / self.total_injections
+
+
+def symptom_coverage(campaign: CampaignResult) -> SymptomCoverage:
+    """Evaluate symptom-based detection over a campaign."""
+    benign = symptomatic = silent = 0
+    for result in campaign.results:
+        if result.outcome is Outcome.MASKED:
+            benign += 1
+        elif result.outcome is Outcome.SDC:
+            silent += 1
+        else:  # crash or hang: a visible symptom
+            symptomatic += 1
+    return SymptomCoverage(
+        total_injections=len(campaign.results),
+        benign=benign,
+        symptomatic=symptomatic,
+        silent=silent,
+    )

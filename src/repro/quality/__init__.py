@@ -1,0 +1,46 @@
+"""SDC quality metric: alignment, relative L2 norm, ED distributions."""
+
+from repro.quality.align import (
+    align_for_comparison,
+    best_translation,
+    gain_correct,
+    pad_to_common,
+)
+from repro.quality.distribution import EDCurve, build_curve
+from repro.quality.metrics import (
+    EGREGIOUS_LIMIT,
+    PIXEL_DIFF_THRESHOLD,
+    SDCQuality,
+    assess_sdc,
+    egregiousness_degree,
+    l2_norm,
+    pixel_128_diff,
+    pixel_diff,
+    relative_l2_norm,
+)
+
+
+def compare_outputs(golden, faulty) -> SDCQuality:
+    """Align two outputs and assess the deviation (the full paper metric)."""
+    golden_aligned, faulty_aligned = align_for_comparison(golden, faulty)
+    return assess_sdc(golden_aligned, faulty_aligned)
+
+
+__all__ = [
+    "align_for_comparison",
+    "best_translation",
+    "gain_correct",
+    "pad_to_common",
+    "EDCurve",
+    "build_curve",
+    "SDCQuality",
+    "assess_sdc",
+    "egregiousness_degree",
+    "l2_norm",
+    "pixel_diff",
+    "pixel_128_diff",
+    "relative_l2_norm",
+    "PIXEL_DIFF_THRESHOLD",
+    "EGREGIOUS_LIMIT",
+    "compare_outputs",
+]

@@ -1,0 +1,123 @@
+"""Global corrective alignment before image comparison.
+
+The paper's metric first applies "global transformations to ensure that
+differences due to perspective, lighting, camera angle etc. are removed"
+(Section V-D) because the output is consumed by a human analyst who does
+not care about cosmetic global shifts.
+
+The corrective pipeline implemented here:
+
+1. **Shape reconciliation** — outputs may differ in size (for example a
+   different number of mini-panoramas); both images are padded to the
+   common bounding shape.
+2. **Illumination correction** — a global gain matches the faulty
+   image's mean intensity (over jointly nonzero pixels) to the golden's.
+3. **Translation alignment** — a coarse-to-fine integer-shift search
+   minimizes the thresholded difference energy, removing global shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import saturate_cast_u8
+
+#: Maximum translation (pixels, each axis) the aligner searches.
+MAX_SHIFT = 24
+
+#: Downsampling factor of the coarse search pass.
+_COARSE_FACTOR = 4
+
+
+def pad_to_common(first: np.ndarray, second: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pad two grayscale images to their common bounding shape."""
+    height = max(first.shape[0], second.shape[0])
+    width = max(first.shape[1], second.shape[1])
+
+    def pad(image: np.ndarray) -> np.ndarray:
+        out = np.zeros((height, width), dtype=np.uint8)
+        out[: image.shape[0], : image.shape[1]] = image
+        return out
+
+    return pad(first), pad(second)
+
+
+def gain_correct(golden: np.ndarray, faulty: np.ndarray) -> np.ndarray:
+    """Scale the faulty image so its mean matches the golden's.
+
+    Only pixels nonzero in both images participate in the estimate, so
+    blank canvas regions do not bias the gain.
+    """
+    joint = (golden > 0) & (faulty > 0)
+    if not np.any(joint):
+        return faulty.copy()
+    golden_mean = float(golden[joint].mean())
+    faulty_mean = float(faulty[joint].mean())
+    if faulty_mean < 1e-9:
+        return faulty.copy()
+    gain = golden_mean / faulty_mean
+    if abs(gain - 1.0) < 1e-3:
+        return faulty.copy()
+    return saturate_cast_u8(faulty.astype(np.float64) * gain)
+
+
+def _shift(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Shift an image by integer offsets with zero fill."""
+    out = np.zeros_like(image)
+    h, w = image.shape
+    src_y0, src_y1 = max(0, -dy), min(h, h - dy)
+    src_x0, src_x1 = max(0, -dx), min(w, w - dx)
+    dst_y0, dst_y1 = max(0, dy), min(h, h + dy)
+    dst_x0, dst_x1 = max(0, dx), min(w, w + dx)
+    out[dst_y0:dst_y1, dst_x0:dst_x1] = image[src_y0:src_y1, src_x0:src_x1]
+    return out
+
+
+def _diff_energy(golden: np.ndarray, candidate: np.ndarray) -> float:
+    """Thresholded squared-difference energy (the quantity the metric uses)."""
+    diff = np.abs(golden.astype(np.int16) - candidate.astype(np.int16))
+    over = np.where(diff > 128, diff, 0).astype(np.float64)
+    return float((over * over).sum())
+
+
+def best_translation(golden: np.ndarray, faulty: np.ndarray, max_shift: int = MAX_SHIFT) -> tuple[int, int]:
+    """Find the integer ``(dy, dx)`` minimizing thresholded difference energy.
+
+    Coarse-to-fine: a search on 4x-downsampled images proposes the
+    neighbourhood, then a fine search refines within it.
+    """
+    factor = _COARSE_FACTOR
+    coarse_g = golden[::factor, ::factor]
+    coarse_f = faulty[::factor, ::factor]
+    coarse_limit = max_shift // factor
+    best = (0, 0)
+    best_energy = _diff_energy(coarse_g, coarse_f)
+    for dy in range(-coarse_limit, coarse_limit + 1):
+        for dx in range(-coarse_limit, coarse_limit + 1):
+            energy = _diff_energy(coarse_g, _shift(coarse_f, dy, dx))
+            if energy < best_energy:
+                best_energy = energy
+                best = (dy, dx)
+
+    center_y, center_x = best[0] * factor, best[1] * factor
+    best_fine = (center_y, center_x)
+    best_energy = _diff_energy(golden, _shift(faulty, center_y, center_x))
+    for dy in range(center_y - factor, center_y + factor + 1):
+        for dx in range(center_x - factor, center_x + factor + 1):
+            if abs(dy) > max_shift or abs(dx) > max_shift:
+                continue
+            energy = _diff_energy(golden, _shift(faulty, dy, dx))
+            if energy < best_energy:
+                best_energy = energy
+                best_fine = (dy, dx)
+    return best_fine
+
+
+def align_for_comparison(golden: np.ndarray, faulty: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full corrective alignment; returns comparable (golden, faulty)."""
+    golden_padded, faulty_padded = pad_to_common(golden, faulty)
+    corrected = gain_correct(golden_padded, faulty_padded)
+    dy, dx = best_translation(golden_padded, corrected)
+    if (dy, dx) != (0, 0):
+        corrected = _shift(corrected, dy, dx)
+    return golden_padded, corrected

@@ -1,0 +1,62 @@
+"""ED distribution curves (paper Fig. 12).
+
+Each curve shows, for an ED value on the X axis, the percentage of SDCs
+whose ED is less than or equal to it.  Curves may top out below 100%
+because egregious SDCs (relative_l2_norm > 100%) carry no ED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quality.metrics import SDCQuality
+
+
+@dataclass
+class EDCurve:
+    """Cumulative ED distribution of one algorithm's SDC population."""
+
+    label: str
+    eds: np.ndarray  # sorted ED values of non-egregious SDCs
+    total_sdcs: int  # including egregious ones
+
+    @property
+    def egregious_count(self) -> int:
+        """SDCs too corrupt for an ED."""
+        return self.total_sdcs - int(self.eds.size)
+
+    def fraction_at_or_below(self, ed: int) -> float:
+        """Percentage (0..100) of all SDCs with ED <= ``ed``."""
+        if self.total_sdcs == 0:
+            return 0.0
+        covered = int(np.searchsorted(self.eds, ed, side="right"))
+        return 100.0 * covered / self.total_sdcs
+
+    def curve(self, max_ed: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(ed_axis, percent_axis)`` for plotting."""
+        xs = np.arange(0, max_ed + 1)
+        ys = np.array([self.fraction_at_or_below(int(x)) for x in xs])
+        return xs, ys
+
+    def ed_at_fraction(self, percent: float) -> int | None:
+        """Smallest ED covering at least ``percent`` of SDCs (None if never)."""
+        if self.total_sdcs == 0:
+            return None
+        needed = percent / 100.0 * self.total_sdcs
+        if self.eds.size < needed:
+            return None
+        index = int(np.ceil(needed)) - 1
+        return int(self.eds[index])
+
+
+def build_curve(label: str, qualities: list[SDCQuality]) -> EDCurve:
+    """Build the ED CDF from per-SDC quality assessments."""
+    eds = np.sort(
+        np.array(
+            [q.egregious_degree for q in qualities if q.egregious_degree is not None],
+            dtype=np.int64,
+        )
+    )
+    return EDCurve(label=label, eds=eds, total_sdcs=len(qualities))

@@ -1,0 +1,87 @@
+"""The paper's SDC quality metric (Section V-D).
+
+Given a golden output image and a faulty one, the metric:
+
+1. applies global corrective transformations (shape reconciliation,
+   illumination gain, translation alignment — see
+   :mod:`repro.quality.align`),
+2. takes the pixel-by-pixel difference,
+3. keeps only differences greater than 128 (over half the 8-bit range;
+   small color-grade deviations are tolerable for a human analyst),
+4. computes ``relative_l2_norm = ||pixel_128_diff||_2 / ||golden||_2 * 100``,
+5. floors the result into an integer *Egregiousness Degree* (ED).
+
+SDCs with ``relative_l2_norm > 100%`` get no ED and are classified as
+*egregious* — they must be protected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Pixel differences at or below this value are tolerable color-grade
+#: deviations and do not count toward the metric.
+PIXEL_DIFF_THRESHOLD = 128
+
+#: relative_l2_norm above this marks an SDC as egregious (no ED).
+EGREGIOUS_LIMIT = 100.0
+
+
+@dataclass(frozen=True)
+class SDCQuality:
+    """Quality assessment of one corrupted output."""
+
+    relative_l2_norm: float
+    egregious_degree: int | None  # None when the SDC is egregious
+
+    @property
+    def egregious(self) -> bool:
+        """True when the SDC exceeds the metric's range and must be protected."""
+        return self.egregious_degree is None
+
+
+def l2_norm(image: np.ndarray) -> float:
+    """Euclidean norm over all pixels of an image."""
+    arr = np.asarray(image, dtype=np.float64)
+    return float(np.sqrt((arr * arr).sum()))
+
+
+def pixel_diff(golden: np.ndarray, faulty: np.ndarray) -> np.ndarray:
+    """Absolute per-pixel difference of two same-shape uint8 images."""
+    g = np.asarray(golden)
+    f = np.asarray(faulty)
+    if g.shape != f.shape:
+        raise ValueError(f"shape mismatch: golden {g.shape} vs faulty {f.shape}")
+    return np.abs(g.astype(np.int16) - f.astype(np.int16)).astype(np.uint8)
+
+
+def pixel_128_diff(golden: np.ndarray, faulty: np.ndarray) -> np.ndarray:
+    """Difference image keeping only deviations above the 128 threshold."""
+    diff = pixel_diff(golden, faulty)
+    return np.where(diff > PIXEL_DIFF_THRESHOLD, diff, 0).astype(np.uint8)
+
+
+def relative_l2_norm(golden: np.ndarray, faulty: np.ndarray) -> float:
+    """The paper's deviation percentage between aligned golden/faulty images."""
+    golden_norm = l2_norm(golden)
+    if golden_norm == 0.0:
+        # A blank golden image: any nonzero faulty content is infinitely
+        # worse; identical blanks deviate by zero.
+        return 0.0 if l2_norm(faulty) == 0.0 else float("inf")
+    return l2_norm(pixel_128_diff(golden, faulty)) / golden_norm * 100.0
+
+
+def egregiousness_degree(rel_l2: float) -> int | None:
+    """ED = floor(relative_l2_norm); ``None`` above the egregious limit."""
+    if rel_l2 > EGREGIOUS_LIMIT or math.isinf(rel_l2) or math.isnan(rel_l2):
+        return None
+    return int(math.floor(rel_l2))
+
+
+def assess_sdc(golden_aligned: np.ndarray, faulty_aligned: np.ndarray) -> SDCQuality:
+    """Assess an SDC given *already aligned* golden/faulty images."""
+    rel = relative_l2_norm(golden_aligned, faulty_aligned)
+    return SDCQuality(relative_l2_norm=rel, egregious_degree=egregiousness_degree(rel))

@@ -1,0 +1,26 @@
+"""Runtime substrate: the simulated machine all kernels execute on."""
+
+from repro.runtime.context import Cell, CostProfile, ExecutionContext, fresh_context
+from repro.runtime.errors import (
+    DegenerateModelError,
+    HangDetected,
+    InsufficientMatchesError,
+    InternalAbortError,
+    ReproError,
+    SegmentationFault,
+    SimulatedMachineError,
+)
+
+__all__ = [
+    "Cell",
+    "CostProfile",
+    "ExecutionContext",
+    "fresh_context",
+    "ReproError",
+    "SimulatedMachineError",
+    "SegmentationFault",
+    "InternalAbortError",
+    "HangDetected",
+    "InsufficientMatchesError",
+    "DegenerateModelError",
+]

@@ -1,0 +1,171 @@
+"""Execution context: the simulated machine every kernel runs on.
+
+All kernels in this library are written against an :class:`ExecutionContext`.
+The context plays three roles:
+
+1. **Cycle accounting** — kernels charge an analytic cycle cost for the work
+   they perform (`tick`).  The accumulated count drives the performance and
+   energy model (paper Fig. 5) and the per-function execution profile
+   (paper Fig. 8).
+2. **Watchdog** — when a cycle budget is set, exceeding it raises
+   :class:`~repro.runtime.errors.HangDetected`.  This is how the fault
+   monitor detects the *Hang* outcome.
+3. **Fault-injection hook** — kernels expose their live architectural state
+   at *checkpoints*.  When an injector is armed, the checkpoint gives it a
+   chance to flip one bit in one register (paper Section V-B).
+
+A context with no injector and no watchdog is extremely cheap: `tick` is an
+integer addition and `window()` returns ``None`` so kernels skip building
+register windows entirely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.errors import HangDetected
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faultinject.injector import FaultInjector
+    from repro.faultinject.registers import RegisterWindow
+
+
+class Cell:
+    """A mutable scalar holder.
+
+    Loop state that must remain corruptible *after* a checkpoint returns is
+    kept in a ``Cell`` rather than a local variable, so a register-file bit
+    flip can rewrite it and the kernel observes the new value on its next
+    read.  This models an architectural register that the program keeps
+    re-reading (for example a loop bound held in a register).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.value!r})"
+
+
+class CostProfile:
+    """Per-scope cycle accumulator (the analog of a flat ``perf`` profile)."""
+
+    def __init__(self) -> None:
+        self._cycles: dict[str, int] = {}
+
+    def charge(self, scope: str, cycles: int) -> None:
+        """Attribute ``cycles`` to ``scope``."""
+        self._cycles[scope] = self._cycles.get(scope, 0) + cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles across all scopes."""
+        return sum(self._cycles.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Return the fraction of total cycles spent in each scope."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {name: cycles / total for name, cycles in self._cycles.items()}
+
+    def by_scope(self) -> dict[str, int]:
+        """Return a copy of the raw per-scope cycle counts."""
+        return dict(self._cycles)
+
+    def merged(self, mapping) -> dict[str, int]:
+        """Aggregate scopes through ``mapping(scope_name) -> group_name``."""
+        grouped: dict[str, int] = {}
+        for name, cycles in self._cycles.items():
+            group = mapping(name)
+            grouped[group] = grouped.get(group, 0) + cycles
+        return grouped
+
+
+class _ScopeGuard:
+    """Context manager pushing a profile scope (see ExecutionContext.scope)."""
+
+    __slots__ = ("_ctx", "_name")
+
+    def __init__(self, ctx: "ExecutionContext", name: str) -> None:
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._ctx._scopes.append(self._name)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._ctx._scopes.pop()
+
+
+class ExecutionContext:
+    """The simulated machine: cycle counter, watchdog and injection hook."""
+
+    def __init__(
+        self,
+        injector: Optional["FaultInjector"] = None,
+        watchdog_cycles: Optional[int] = None,
+        profile: Optional[CostProfile] = None,
+    ) -> None:
+        self.cycles = 0
+        self.injector = injector
+        self.watchdog_cycles = watchdog_cycles
+        self.profile = profile
+        self._scopes: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Cycle accounting
+    # ------------------------------------------------------------------
+    def tick(self, cycles: int) -> None:
+        """Charge ``cycles`` of simulated work to the current scope."""
+        self.cycles += cycles
+        if self.profile is not None:
+            scope = self._scopes[-1] if self._scopes else "<toplevel>"
+            self.profile.charge(scope, cycles)
+        if self.watchdog_cycles is not None and self.cycles > self.watchdog_cycles:
+            raise HangDetected(self.cycles, self.watchdog_cycles)
+
+    def scope(self, name: str) -> _ScopeGuard:
+        """Enter a named profiling scope (``with ctx.scope("warp"): ...``)."""
+        return _ScopeGuard(self, name)
+
+    @property
+    def current_scope(self) -> str:
+        """Name of the innermost active scope."""
+        return self._scopes[-1] if self._scopes else "<toplevel>"
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        """True when an injector wants to observe checkpoints."""
+        return self.injector is not None and self.injector.observing
+
+    def window(self, site: str) -> Optional["RegisterWindow"]:
+        """Return a fresh register window for ``site``, or ``None``.
+
+        Kernels use this as a cheap guard::
+
+            w = ctx.window("warp.row")
+            if w is not None:
+                w.address("src_ptr", ...)
+                ctx.checkpoint(w)
+        """
+        if not self.armed:
+            return None
+        from repro.faultinject.registers import RegisterWindow
+
+        return RegisterWindow(site)
+
+    def checkpoint(self, window: "RegisterWindow") -> None:
+        """Expose ``window`` to the armed injector (no-op otherwise)."""
+        if self.injector is not None:
+            self.injector.visit(self, window)
+
+
+def fresh_context() -> ExecutionContext:
+    """Return a plain context (no injector, no watchdog, no profile)."""
+    return ExecutionContext()

@@ -1,0 +1,67 @@
+"""Exception taxonomy for the simulated machine.
+
+The fault-injection experiments classify run outcomes by the kind of
+exception that terminated them, mirroring the signal taxonomy observed by
+the paper's AFI Fault Monitor (SIGSEGV, abort, watchdog-detected hangs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library itself."""
+
+
+class SimulatedMachineError(ReproError):
+    """Base class for errors that model a machine-level failure.
+
+    These are the errors a fault-injection campaign counts as *Crash* or
+    *Hang* outcomes, as opposed to genuine bugs in the library.
+    """
+
+
+class SegmentationFault(SimulatedMachineError):
+    """A corrupted pointer resolved outside the simulated address space.
+
+    Models the SIGSEGV crashes that dominate the paper's GPR Crash
+    outcomes (92% of crashes in Section VI-A).
+    """
+
+    def __init__(self, address: int, message: str = "") -> None:
+        self.address = address
+        detail = message or f"access to unmapped address {address:#x}"
+        super().__init__(detail)
+
+
+class InternalAbortError(SimulatedMachineError):
+    """A library-internal constraint violation (the paper's "Abort" crashes).
+
+    Raised when corrupted state reaches a precondition check inside a
+    solver or kernel, mirroring abort signals raised by OpenCV internals
+    (8% of crashes in Section VI-A).
+    """
+
+
+class HangDetected(SimulatedMachineError):
+    """The cycle watchdog expired: execution exceeded its cycle budget.
+
+    Models the *Hang* outcome: corrupted control state (for example a
+    loop bound) made the program neither finish nor crash.
+    """
+
+    def __init__(self, cycles: int, budget: int) -> None:
+        self.cycles = cycles
+        self.budget = budget
+        super().__init__(f"watchdog expired: {cycles} cycles > budget {budget}")
+
+
+class InsufficientMatchesError(ReproError):
+    """Not enough point correspondences to estimate a transform.
+
+    This is an *expected* application-level condition (the pipeline
+    discards the frame), not a machine failure.
+    """
+
+
+class DegenerateModelError(ReproError):
+    """A transform estimation produced a numerically unusable model."""

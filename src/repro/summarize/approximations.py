@@ -1,0 +1,59 @@
+"""The paper's three software approximations as configuration transforms.
+
+Paper Section IV:
+
+* **VS_RFD** (input sampling): randomly drop up to 10% of input frames.
+* **VS_KDS** (selective computation): match only one-third of the key
+  points; matching is O(n^2) in key points.
+* **VS_SM** (algorithmic transformation): replace the 2-NN ratio test by
+  a single-nearest-neighbour match with an absolute distance bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.summarize.config import VSConfig
+
+
+def baseline_config(**overrides) -> VSConfig:
+    """The precise VS algorithm."""
+    return replace(VSConfig(name="VS"), **overrides)
+
+
+def rfd_config(drop_fraction: float = 0.10, **overrides) -> VSConfig:
+    """VS_RFD: random frame dropping (paper default 10%)."""
+    return replace(VSConfig(name="VS_RFD", drop_fraction=drop_fraction), **overrides)
+
+
+def kds_config(keypoint_fraction: float = 1.0 / 3.0, **overrides) -> VSConfig:
+    """VS_KDS: key-point down-sampling (paper default one-third)."""
+    return replace(VSConfig(name="VS_KDS", keypoint_fraction=keypoint_fraction), **overrides)
+
+
+def sm_config(max_distance: int = 24, **overrides) -> VSConfig:
+    """VS_SM: simple matching (1-NN with an absolute Hamming bound)."""
+    return replace(
+        VSConfig(name="VS_SM", matcher="simple", sm_max_distance=max_distance), **overrides
+    )
+
+
+#: All four algorithms in the paper's presentation order.
+ALGORITHM_FACTORIES: dict[str, Callable[..., VSConfig]] = {
+    "VS": baseline_config,
+    "VS_RFD": rfd_config,
+    "VS_KDS": kds_config,
+    "VS_SM": sm_config,
+}
+
+
+def config_for(algorithm: str, **overrides) -> VSConfig:
+    """Build the config for one of the paper's algorithm names."""
+    try:
+        factory = ALGORITHM_FACTORIES[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHM_FACTORIES)}"
+        ) from None
+    return factory(**overrides)

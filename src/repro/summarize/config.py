@@ -1,0 +1,68 @@
+"""Configuration of the VS application and its approximation knobs.
+
+One :class:`VSConfig` fully determines the algorithm: the baseline VS and
+the three approximations (VS_RFD, VS_KDS, VS_SM) are all configurations
+of the same pipeline, exactly as in the paper where the approximations
+transform the baseline algorithm (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class VSConfig:
+    """All knobs of the video-summarization pipeline."""
+
+    name: str = "VS"
+
+    # Feature front end -------------------------------------------------
+    n_keypoints: int = 150
+    fast_threshold: int = 6
+
+    # Matching -----------------------------------------------------------
+    matcher: str = "ratio"  # "ratio" (baseline) or "simple" (VS_SM)
+    ratio: float = 0.75
+    sm_max_distance: int = 24  # absolute Hamming bound for VS_SM
+
+    # Approximation knobs -------------------------------------------------
+    drop_fraction: float = 0.0  # VS_RFD: fraction of input frames dropped
+    keypoint_fraction: float = 1.0  # VS_KDS: fraction of key points matched
+    approx_seed: int = 7  # seeds frame dropping / key point subsampling
+
+    # Transform estimation -------------------------------------------------
+    ransac_threshold: float = 3.0
+    ransac_max_iterations: int = 512
+    min_inliers_homography: int = 14
+    min_inliers_affine: int = 8
+    # Below this many matches the pipeline skips the homography and
+    # estimates the simpler affine model directly (paper Section III-A:
+    # "not every pair of adjacent frames has enough matching key points
+    # to compute the homography transformation").
+    homography_match_min: int = 20
+    # Minimum bounding-box area of the inlier set, as a fraction of the
+    # frame area.  Models estimated from matches confined to a narrow
+    # overlap strip extrapolate badly and are rejected (standard
+    # stitching-pipeline coverage check).
+    min_inlier_spread: float = 0.17
+
+    # Compositing ----------------------------------------------------------
+    canvas_scale: float = 3.0  # canvas size as a multiple of frame size
+    max_consecutive_failures: int = 3  # failures before a new mini-panorama
+
+    def __post_init__(self) -> None:
+        if self.matcher not in ("ratio", "simple"):
+            raise ValueError(f"unknown matcher {self.matcher!r}")
+        if not 0.0 <= self.drop_fraction < 1.0:
+            raise ValueError(f"drop_fraction must be in [0, 1), got {self.drop_fraction}")
+        if not 0.0 < self.keypoint_fraction <= 1.0:
+            raise ValueError(
+                f"keypoint_fraction must be in (0, 1], got {self.keypoint_fraction}"
+            )
+        if self.canvas_scale < 1.0:
+            raise ValueError(f"canvas_scale must be >= 1, got {self.canvas_scale}")
+
+    def with_name(self, name: str) -> "VSConfig":
+        """Return a copy of this config under a different display name."""
+        return replace(self, name=name)

@@ -1,0 +1,61 @@
+"""Golden (error-free) run management.
+
+Fault-injection campaigns need, per (algorithm, input): the golden output
+image (the SDC reference), the golden cycle count (to draw uniformly
+random injection cycles and to set the hang watchdog), and the execution
+profile.  Golden runs are cached in-process because campaigns reuse them
+across hundreds of injected runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.context import CostProfile, ExecutionContext
+from repro.summarize.config import VSConfig
+from repro.summarize.pipeline import VSResult, run_vs
+from repro.video.frames import FrameStream
+
+
+@dataclass
+class GoldenRun:
+    """The error-free reference execution of one (algorithm, input)."""
+
+    config: VSConfig
+    stream_name: str
+    result: VSResult
+    output: np.ndarray  # the golden output image
+    total_cycles: int
+    profile: CostProfile
+
+
+_CACHE: dict[tuple[str, str, int], GoldenRun] = {}
+
+
+def golden_run(stream: FrameStream, config: VSConfig, use_cache: bool = True) -> GoldenRun:
+    """Run (or fetch) the golden execution for ``(config, stream)``."""
+    key = (config.name, stream.name, hash(config))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    profile = CostProfile()
+    ctx = ExecutionContext(profile=profile)
+    result = run_vs(stream, config, ctx)
+    run = GoldenRun(
+        config=config,
+        stream_name=stream.name,
+        result=result,
+        output=result.panorama.copy(),
+        total_cycles=ctx.cycles,
+        profile=profile,
+    )
+    if use_cache:
+        _CACHE[key] = run
+    return run
+
+
+def clear_golden_cache() -> None:
+    """Drop all cached golden runs (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,238 @@
+"""The end-to-end VS application (coverage summarization).
+
+Consumes a frame stream and produces the summarized output: every frame
+is aligned to the anchor frame of its segment and composited into a
+mini-panorama; the run's output image stacks the mini-panoramas (paper
+Section III: segments are summarized by mini-panoramas that a later
+stage combines into the global panorama).
+
+This is the application under test in every experiment: the performance
+model, the execution profile and the fault-injection campaigns all run
+through :func:`run_vs`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import Cell, ExecutionContext
+from repro.runtime.errors import InsufficientMatchesError, SegmentationFault
+from repro.summarize.config import VSConfig
+from repro.summarize.stitcher import MiniPanorama, estimate_pairwise
+from repro.video.frames import FrameStream, drop_frames_randomly
+from repro.vision.orb import FeatureSet, orb_features
+
+
+@dataclass
+class FrameOutcome:
+    """What happened to one input frame."""
+
+    index: int  # index within the (post-RFD) processed stream
+    status: str  # "anchor" | "stitched" | "discarded" | "dropped"
+    model_type: str | None = None  # "homography" | "affine" for stitched frames
+    num_matches: int = 0
+    num_inliers: int = 0
+    #: For anchor/stitched frames: the transform mapping this frame's
+    #: pixel coordinates into its mini-panorama canvas, and which
+    #: mini-panorama it belongs to.  Consumed by the event-summarization
+    #: stage to project detections into panorama space.
+    chain: np.ndarray | None = None
+    mini_index: int = -1
+
+
+@dataclass
+class VSResult:
+    """Everything a VS run produces."""
+
+    config: VSConfig
+    panorama: np.ndarray  # stacked mini-panorama canvases (the output image)
+    minis: list[MiniPanorama] = field(default_factory=list)
+    outcomes: list[FrameOutcome] = field(default_factory=list)
+    cycles: int = 0
+
+    @property
+    def frames_stitched(self) -> int:
+        """Frames composited into a panorama (anchors included)."""
+        return sum(1 for o in self.outcomes if o.status in ("anchor", "stitched"))
+
+    @property
+    def frames_discarded(self) -> int:
+        """Frames discarded for lack of matching key points."""
+        return sum(1 for o in self.outcomes if o.status == "discarded")
+
+    @property
+    def affine_fallbacks(self) -> int:
+        """Frames that needed the simpler affine model."""
+        return sum(1 for o in self.outcomes if o.model_type == "affine")
+
+    @property
+    def num_minis(self) -> int:
+        """Number of mini-panoramas generated."""
+        return len(self.minis)
+
+
+def _ransac_seed(config: VSConfig, stream_name: str) -> int:
+    """Deterministic RANSAC seed per (algorithm, input)."""
+    return zlib.crc32(f"{config.name}:{stream_name}:{config.approx_seed}".encode())
+
+
+def run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSResult:
+    """Run the VS application over ``stream`` under ``config``.
+
+    Deterministic: the same stream and config always produce the same
+    output on a clean context.
+    """
+    rng = np.random.default_rng(_ransac_seed(config, stream.name))
+
+    if config.drop_fraction > 0.0:
+        drop_rng = np.random.default_rng(config.approx_seed)
+        stream = drop_frames_randomly(stream, config.drop_fraction, drop_rng)
+
+    frames = list(stream)
+    if not frames:
+        return VSResult(config=config, panorama=np.zeros((1, 1), dtype=np.uint8))
+    frame_shape = frames[0].shape
+
+    minis: list[MiniPanorama] = []
+    outcomes: list[FrameOutcome] = []
+    current: MiniPanorama | None = None
+    prev_features: FeatureSet | None = None
+    prev_chain: np.ndarray | None = None
+    failures = Cell(0)
+    index = Cell(0)
+    total = Cell(len(frames))
+    frame_px = frame_shape[0] * frame_shape[1]
+
+    while index.value < total.value:
+        i = int(index.value)
+        if i >= len(frames) or i < -len(frames):
+            # A corrupted frame index walks off the frame table.
+            raise SegmentationFault(i, "frame table overrun")
+        # Negative in-range indices alias earlier frames (wrong data, no
+        # trap).  The working copy is the in-memory frame buffer; pointer
+        # corruption mutates it and the corruption flows downstream.
+        frame = frames[i].copy()
+
+        with ctx.scope("summarize.pipeline.frame"):
+            ctx.tick(kernel_cost("frame.acquire_px") * frame_px)
+            ctx.tick(kernel_cost("pipeline.frame_overhead"))
+
+        window = ctx.window("summarize.pipeline.frame")
+        if window is not None:
+            from repro.faultinject.registers import Role
+
+            window.gpr_address("frame_ptr", frame)
+            window.gpr_cell("frame_idx", index, role=Role.CONTROL)
+            window.gpr_cell("frame_total", total, role=Role.CONTROL)
+            window.gpr_cell("fail_count", failures, role=Role.DATA)
+            if current is not None:
+                window.gpr_address("canvas_ptr", current.canvas, writes=True)
+                window.gpr_address("coverage_ptr", current.coverage, writes=True)
+            if prev_features is not None and len(prev_features):
+                window.gpr_address("prev_desc_ptr", prev_features.descriptors)
+                window.gpr_address("prev_coords_ptr", prev_features.coords)
+            ctx.checkpoint(window)
+
+        features = orb_features(
+            frame,
+            ctx,
+            n_keypoints=config.n_keypoints,
+            fast_threshold=config.fast_threshold,
+        )
+
+        if current is None or prev_features is None or prev_chain is None:
+            current, prev_chain = _start_segment(frame, frame_shape, config, ctx, minis)
+            prev_features = features
+            outcomes.append(
+                FrameOutcome(
+                    index=i,
+                    status="anchor",
+                    chain=prev_chain.copy(),
+                    mini_index=len(minis) - 1,
+                )
+            )
+            failures.value = 0
+            index.value = int(index.value) + 1
+            continue
+
+        try:
+            pairwise = estimate_pairwise(features, prev_features, config, ctx, rng, frame_shape)
+            chained = prev_chain @ pairwise.transform
+            chained = current.validate_chain(chained, frame_shape)
+        except InsufficientMatchesError:
+            failures.value = int(failures.value) + 1
+            # Library-internal invariant (the abort crash category):
+            # the failure counter must stay within the frame budget.
+            if not 0 < failures.value <= len(frames):
+                from repro.runtime.errors import InternalAbortError
+
+                raise InternalAbortError(
+                    f"failure counter corrupted: {failures.value}"
+                )
+            outcomes.append(FrameOutcome(index=i, status="discarded"))
+            if failures.value > config.max_consecutive_failures:
+                # Scene change: anchor a fresh mini-panorama at this frame.
+                current, prev_chain = _start_segment(frame, frame_shape, config, ctx, minis)
+                prev_features = features
+                outcomes[-1] = FrameOutcome(
+                    index=i,
+                    status="anchor",
+                    chain=prev_chain.copy(),
+                    mini_index=len(minis) - 1,
+                )
+                failures.value = 0
+            index.value = int(index.value) + 1
+            continue
+
+        with ctx.scope("summarize.pipeline.chain"):
+            ctx.tick(kernel_cost("pipeline.anchor_update"))
+        current.add(frame, chained, ctx)
+        prev_chain = chained
+        prev_features = features
+        failures.value = 0
+        outcomes.append(
+            FrameOutcome(
+                index=i,
+                status="stitched",
+                model_type=pairwise.model_type,
+                num_matches=pairwise.num_matches,
+                num_inliers=pairwise.num_inliers,
+                chain=chained.copy(),
+                mini_index=len(minis) - 1,
+            )
+        )
+        index.value = int(index.value) + 1
+
+    panorama = _stack_minis(minis)
+    return VSResult(
+        config=config,
+        panorama=panorama,
+        minis=minis,
+        outcomes=outcomes,
+        cycles=ctx.cycles,
+    )
+
+
+def _start_segment(
+    frame: np.ndarray,
+    frame_shape: tuple[int, int],
+    config: VSConfig,
+    ctx: ExecutionContext,
+    minis: list[MiniPanorama],
+) -> tuple[MiniPanorama, np.ndarray]:
+    """Open a new mini-panorama anchored at ``frame``."""
+    mini = MiniPanorama(frame_shape, config)
+    chain = mini.place_anchor(frame, ctx)
+    minis.append(mini)
+    return mini, chain
+
+
+def _stack_minis(minis: list[MiniPanorama]) -> np.ndarray:
+    """The run's output image: mini-panorama canvases stacked vertically."""
+    if not minis:
+        return np.zeros((1, 1), dtype=np.uint8)
+    return np.vstack([mini.canvas for mini in minis])

@@ -1,0 +1,245 @@
+"""Pairwise transform estimation and mini-panorama compositing.
+
+Implements the stitching core of the VS algorithm (paper Section III-A):
+match key points between the incoming frame and the last accepted frame,
+compute a homography via RANSAC, fall back to an affine estimate when
+there are not enough matching key points, and discard the frame when even
+that fails.  Accepted frames are warped into the mini-panorama canvas
+through the chained transform that aligns every frame with the anchor
+(first) frame of its segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.geometry import translation, validate_homography
+from repro.imaging.image import blank
+from repro.imaging.warp import warp_into
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+from repro.runtime.errors import DegenerateModelError, InsufficientMatchesError
+from repro.summarize.config import VSConfig
+from repro.vision.matching import MatchSet, match_ratio, match_simple
+from repro.vision.orb import FeatureSet
+from repro.vision.ransac import RansacResult, ransac_affine, ransac_homography
+
+#: Acceptable singular-value range for the upper 2x2 of a chained
+#: transform; outside it the frame alignment has degenerated.
+_SCALE_RANGE = (0.25, 4.0)
+
+
+@dataclass
+class PairwiseTransform:
+    """Estimated frame-to-frame alignment."""
+
+    transform: np.ndarray  # (3, 3), maps current-frame coords to previous-frame coords
+    model_type: str  # "homography" or "affine"
+    num_matches: int
+    num_inliers: int
+
+
+def matching_subset(features: FeatureSet, fraction: float) -> np.ndarray:
+    """Indices of the key points used for matching (the VS_KDS knob).
+
+    The subset is a deterministic stride over the rank-ordered key
+    points, so golden and fault-injected runs match the same subset.
+    """
+    n = len(features)
+    if fraction >= 1.0 or n == 0:
+        return np.arange(n, dtype=np.int64)
+    stride = max(1, int(round(1.0 / fraction)))
+    return np.arange(0, n, stride, dtype=np.int64)
+
+
+def match_features(
+    current: FeatureSet,
+    previous: FeatureSet,
+    config: VSConfig,
+    ctx: ExecutionContext,
+) -> tuple[MatchSet, np.ndarray, np.ndarray]:
+    """Match current against previous features under the config's policy.
+
+    Returns ``(matches, current_subset, previous_subset)`` where the
+    subsets map matcher indices back to full key-point indices.
+    """
+    # VS_KDS subsamples the *incoming* frame's key points: matching cost
+    # scales with the fraction, and every subsampled key point can still
+    # find its counterpart in the previous frame.  (Striding both sides
+    # would square the reduction and starve the matcher.)
+    cur_subset = matching_subset(current, config.keypoint_fraction)
+    prev_subset = matching_subset(previous, 1.0)
+    cur_desc = current.descriptors[cur_subset]
+    prev_desc = previous.descriptors[prev_subset]
+    if config.matcher == "simple":
+        matches = match_simple(cur_desc, prev_desc, ctx, max_distance=config.sm_max_distance)
+    else:
+        matches = match_ratio(cur_desc, prev_desc, ctx, ratio=config.ratio)
+    return matches, cur_subset, prev_subset
+
+
+def _check_inlier_spread(
+    points: np.ndarray,
+    mask: np.ndarray,
+    frame_shape: tuple[int, int],
+    min_spread: float,
+) -> None:
+    """Reject models whose inliers cover too little of the frame.
+
+    A transform supported only by matches confined to a narrow overlap
+    strip extrapolates badly across the rest of the frame; stitching
+    pipelines reject such models.  Raises
+    :class:`InsufficientMatchesError` on failure.
+    """
+    if min_spread <= 0.0:
+        return
+    frame_h, frame_w = frame_shape
+    inliers = points[mask]
+    span_x = float(inliers[:, 0].max() - inliers[:, 0].min())
+    span_y = float(inliers[:, 1].max() - inliers[:, 1].min())
+    area_fraction = (span_x * span_y) / float(frame_w * frame_h)
+    if area_fraction < min_spread:
+        raise InsufficientMatchesError(
+            f"inlier spread {span_x:.0f}x{span_y:.0f} covers "
+            f"{area_fraction:.0%} of the frame (need {min_spread:.0%})"
+        )
+
+
+def estimate_pairwise(
+    current: FeatureSet,
+    previous: FeatureSet,
+    config: VSConfig,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    frame_shape: tuple[int, int],
+) -> PairwiseTransform:
+    """Estimate the transform aligning the current frame to the previous.
+
+    Tries a RANSAC homography when there are enough matching key points;
+    falls back to a robust affine otherwise; raises
+    :class:`InsufficientMatchesError` when the frame must be discarded
+    (too few matches, no consensus, or inliers confined to a sliver of
+    the frame).
+    """
+    matches, cur_subset, prev_subset = match_features(current, previous, config, ctx)
+    if len(matches) < config.min_inliers_affine:
+        raise InsufficientMatchesError(f"only {len(matches)} matches")
+
+    src = current.coords[cur_subset[matches.query_idx]].astype(np.float64)
+    dst = previous.coords[prev_subset[matches.train_idx]].astype(np.float64)
+
+    if len(matches) >= config.homography_match_min:
+        try:
+            result: RansacResult = ransac_homography(
+                src,
+                dst,
+                ctx,
+                rng,
+                inlier_threshold=config.ransac_threshold,
+                max_iterations=config.ransac_max_iterations,
+                min_inliers=config.min_inliers_homography,
+            )
+            _check_inlier_spread(
+                src, result.inlier_mask, frame_shape, config.min_inlier_spread
+            )
+            return PairwiseTransform(
+                transform=result.model,
+                model_type="homography",
+                num_matches=len(matches),
+                num_inliers=result.num_inliers,
+            )
+        except InsufficientMatchesError:
+            pass  # fall through to the simpler affine model
+
+    result = ransac_affine(
+        src,
+        dst,
+        ctx,
+        rng,
+        inlier_threshold=config.ransac_threshold,
+        min_inliers=config.min_inliers_affine,
+    )
+    _check_inlier_spread(src, result.inlier_mask, frame_shape, config.min_inlier_spread)
+
+    return PairwiseTransform(
+        transform=result.model,
+        model_type="affine",
+        num_matches=len(matches),
+        num_inliers=result.num_inliers,
+    )
+
+
+class MiniPanorama:
+    """One coverage segment: frames aligned to the segment's anchor frame.
+
+    The canvas has a fixed size (``canvas_scale`` times the frame size)
+    so that run outputs are directly comparable image-for-image.
+    """
+
+    def __init__(self, frame_shape: tuple[int, int], config: VSConfig) -> None:
+        frame_h, frame_w = frame_shape
+        self.canvas_h = int(frame_h * config.canvas_scale)
+        self.canvas_w = int(frame_w * config.canvas_scale)
+        self.canvas = blank(self.canvas_h, self.canvas_w)
+        self.coverage = blank(self.canvas_h, self.canvas_w)
+        # The anchor frame sits at the canvas centre.
+        self.anchor_transform = translation(
+            (self.canvas_w - frame_w) / 2.0, (self.canvas_h - frame_h) / 2.0
+        )
+        self.frames_composited = 0
+
+    def place_anchor(self, frame: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
+        """Composite the segment's first frame; returns its chain transform."""
+        self._composite(frame, self.anchor_transform, ctx)
+        return self.anchor_transform
+
+    def add(self, frame: np.ndarray, chain_transform: np.ndarray, ctx: ExecutionContext) -> None:
+        """Composite a frame whose chain transform is already validated."""
+        self._composite(frame, chain_transform, ctx)
+
+    def _composite(self, frame: np.ndarray, transform: np.ndarray, ctx: ExecutionContext) -> None:
+        with ctx.scope("summarize.stitcher.composite"):
+            written = warp_into(self.canvas, self.coverage, frame, transform, ctx)
+            ctx.tick(kernel_cost("composite.px") * max(written, 1))
+        self.frames_composited += 1
+
+    def validate_chain(self, transform: np.ndarray, frame_shape: tuple[int, int]) -> np.ndarray:
+        """Sanity-check a chained transform against this canvas.
+
+        Raises :class:`InsufficientMatchesError` when the chain has
+        drifted into a useless regime (extreme scale, or the frame
+        centre projecting outside the canvas), which the pipeline treats
+        the same as a failed match.
+        """
+        try:
+            model = validate_homography(transform)
+        except DegenerateModelError as exc:
+            raise InsufficientMatchesError(f"degenerate chain transform: {exc}") from exc
+        singular_values = np.linalg.svd(model[:2, :2], compute_uv=False)
+        if singular_values[0] > _SCALE_RANGE[1] or singular_values[-1] < _SCALE_RANGE[0]:
+            raise InsufficientMatchesError(
+                f"chain scale {singular_values} outside {_SCALE_RANGE}"
+            )
+        frame_h, frame_w = frame_shape
+        center = np.array([[frame_w / 2.0, frame_h / 2.0]])
+        homo = np.hstack([center, np.ones((1, 1))]) @ model.T
+        if abs(homo[0, 2]) < 1e-12:
+            raise InsufficientMatchesError("frame centre projects to infinity")
+        cx, cy = homo[0, 0] / homo[0, 2], homo[0, 1] / homo[0, 2]
+        if not (0 <= cx < self.canvas_w and 0 <= cy < self.canvas_h):
+            raise InsufficientMatchesError("frame centre left the canvas")
+        return model
+
+    def cropped(self) -> np.ndarray:
+        """The canvas cropped to its covered bounding box (for display)."""
+        ys, xs = np.nonzero(self.coverage)
+        if ys.size == 0:
+            return self.canvas[:1, :1].copy()
+        return self.canvas[ys.min() : ys.max() + 1, xs.min() : xs.max() + 1].copy()
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of canvas pixels covered by at least one frame."""
+        return float(np.count_nonzero(self.coverage)) / self.coverage.size

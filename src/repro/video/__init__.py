@@ -1,0 +1,36 @@
+"""Synthetic aerial-video inputs (stand-ins for the VIRAT dataset)."""
+
+from repro.video.camera import CameraState, busy_path, render_frame, steady_path
+from repro.video.frames import FrameStream, drop_frames_randomly
+from repro.video.objects import MovingObject, spawn_objects, stamp_objects
+from repro.video.synthetic import (
+    DEFAULT_FRAME_SIZE,
+    DEFAULT_NUM_FRAMES,
+    EventInput,
+    make_event_input,
+    make_input,
+    make_input1,
+    make_input2,
+)
+from repro.video.terrain import make_landscape, value_noise
+
+__all__ = [
+    "CameraState",
+    "busy_path",
+    "steady_path",
+    "render_frame",
+    "FrameStream",
+    "drop_frames_randomly",
+    "make_landscape",
+    "value_noise",
+    "make_input",
+    "make_input1",
+    "make_input2",
+    "EventInput",
+    "make_event_input",
+    "MovingObject",
+    "spawn_objects",
+    "stamp_objects",
+    "DEFAULT_FRAME_SIZE",
+    "DEFAULT_NUM_FRAMES",
+]

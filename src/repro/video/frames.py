@@ -1,0 +1,71 @@
+"""Frame stream abstraction and input-level transformations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FrameStream:
+    """An immutable, named sequence of grayscale frames.
+
+    Inputs are materialized once per experiment so that every run —
+    golden or fault-injected — consumes byte-identical frames.
+    """
+
+    name: str
+    frames: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for index, frame in enumerate(self.frames):
+            if frame.ndim != 2 or frame.dtype != np.uint8:
+                raise ValueError(f"frame {index} is not a (h, w) uint8 image")
+            frame.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self):
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.frames[index]
+
+    @property
+    def frame_shape(self) -> tuple[int, int]:
+        """Shape ``(h, w)`` of the frames (streams are homogeneous)."""
+        if not self.frames:
+            raise ValueError("empty frame stream has no shape")
+        return self.frames[0].shape  # type: ignore[return-value]
+
+    def subsample(self, factor: int) -> "FrameStream":
+        """Keep every ``factor``-th frame (the paper's downsampling)."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return FrameStream(
+            name=f"{self.name}/sub{factor}",
+            frames=[frame.copy() for frame in self.frames[::factor]],
+        )
+
+
+def drop_frames_randomly(
+    stream: FrameStream,
+    drop_fraction: float,
+    rng: np.random.Generator,
+) -> FrameStream:
+    """Randomly drop a fraction of frames (the VS_RFD input approximation).
+
+    The surviving frames keep their order.  The paper drops up to 10% of
+    the input frames (Section IV).
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError(f"drop_fraction must be in [0, 1), got {drop_fraction}")
+    n = len(stream)
+    n_drop = int(round(n * drop_fraction))
+    if n_drop == 0:
+        return FrameStream(name=f"{stream.name}/rfd0", frames=[f.copy() for f in stream])
+    dropped = set(rng.choice(n, size=n_drop, replace=False).tolist())
+    kept = [frame.copy() for index, frame in enumerate(stream) if index not in dropped]
+    return FrameStream(name=f"{stream.name}/rfd{drop_fraction:.2f}", frames=kept)

@@ -1,0 +1,38 @@
+"""Computer-vision substrate: features, matching and robust estimation."""
+
+from repro.vision.affine import affine_residuals, estimate_affine, solve_affines_batched
+from repro.vision.fast import Keypoint, detect_fast
+from repro.vision.homography import (
+    estimate_homography,
+    homography_residuals,
+    solve_homographies_batched,
+)
+from repro.vision.matching import (
+    MatchSet,
+    hamming_distance_matrix,
+    match_ratio,
+    match_simple,
+)
+from repro.vision.orb import FeatureSet, brief_pattern, orb_features
+from repro.vision.ransac import RansacResult, ransac_affine, ransac_homography
+
+__all__ = [
+    "Keypoint",
+    "detect_fast",
+    "FeatureSet",
+    "brief_pattern",
+    "orb_features",
+    "MatchSet",
+    "hamming_distance_matrix",
+    "match_ratio",
+    "match_simple",
+    "estimate_homography",
+    "homography_residuals",
+    "solve_homographies_batched",
+    "estimate_affine",
+    "affine_residuals",
+    "solve_affines_batched",
+    "ransac_affine",
+    "RansacResult",
+    "ransac_homography",
+]

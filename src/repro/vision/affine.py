@@ -1,0 +1,88 @@
+"""Affine transform estimation (the pipeline's fallback model).
+
+When adjacent frames do not share enough matching key points for a
+homography, the VS algorithm estimates a simpler affine transform that
+needs fewer correspondences (paper Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.errors import DegenerateModelError
+from repro.vision.homography import _check_points
+
+#: Minimum correspondences for an affine transform.
+MIN_POINTS = 3
+
+
+def estimate_affine(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Least-squares affine transform mapping ``src`` points onto ``dst``.
+
+    Returns a 3x3 matrix with last row (0, 0, 1).  Raises
+    :class:`DegenerateModelError` for collinear/degenerate configurations.
+    """
+    src, dst = _check_points(src, dst, MIN_POINTS)
+    n = src.shape[0]
+    system = np.zeros((2 * n, 6), dtype=np.float64)
+    system[0::2, 0] = src[:, 0]
+    system[0::2, 1] = src[:, 1]
+    system[0::2, 2] = 1.0
+    system[1::2, 3] = src[:, 0]
+    system[1::2, 4] = src[:, 1]
+    system[1::2, 5] = 1.0
+    rhs = dst.reshape(-1)
+
+    solution, _residuals, rank, _sv = np.linalg.lstsq(system, rhs, rcond=None)
+    if rank < 6:
+        raise DegenerateModelError(f"affine system rank {rank} < 6 (collinear points?)")
+    model = np.eye(3, dtype=np.float64)
+    model[0, :] = solution[0:3]
+    model[1, :] = solution[3:6]
+    if not np.all(np.isfinite(model)):
+        raise DegenerateModelError("affine solution is non-finite")
+    determinant = model[0, 0] * model[1, 1] - model[0, 1] * model[1, 0]
+    if abs(determinant) < 1e-8:
+        raise DegenerateModelError(f"affine transform is singular (det={determinant:.3e})")
+    return model
+
+
+def solve_affines_batched(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve many 3-point affine hypotheses at once.
+
+    ``src``/``dst`` are ``(batch, 3, 2)``.  Returns ``(models, ok)`` with
+    ``models`` of shape ``(batch, 3, 3)`` and ``ok`` flagging hypotheses
+    whose 6x6 system was well conditioned.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    batch = src.shape[0]
+    if src.shape != (batch, 3, 2) or dst.shape != (batch, 3, 2):
+        raise ValueError(f"expected (batch, 3, 2) arrays, got {src.shape} and {dst.shape}")
+
+    x, y = src[:, :, 0], src[:, :, 1]
+    u, v = dst[:, :, 0], dst[:, :, 1]
+    zeros = np.zeros_like(x)
+    ones = np.ones_like(x)
+    rows_u = np.stack([x, y, ones, zeros, zeros, zeros], axis=2)
+    rows_v = np.stack([zeros, zeros, zeros, x, y, ones], axis=2)
+    systems = np.concatenate([rows_u, rows_v], axis=1)  # (batch, 6, 6)
+    rhs = np.concatenate([u, v], axis=1)
+
+    dets = np.linalg.det(systems)
+    ok = np.abs(dets) > 1e-10
+    models = np.tile(np.eye(3), (batch, 1, 1))
+    if np.any(ok):
+        solutions = np.linalg.solve(systems[ok], rhs[ok][:, :, np.newaxis])[:, :, 0]
+        models[ok, 0, :] = solutions[:, 0:3]
+        models[ok, 1, :] = solutions[:, 3:6]
+        ok &= np.all(np.isfinite(models), axis=(1, 2))
+    return models, ok
+
+
+def affine_residuals(model: np.ndarray, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Euclidean residual of each correspondence under an affine model."""
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    projected = np.hstack([src, np.ones((src.shape[0], 1))]) @ np.asarray(model).T
+    return np.sqrt(((projected[:, :2] - dst) ** 2).sum(axis=1))

@@ -1,0 +1,144 @@
+"""FAST segment-test corner detector (FAST-9 on the 16-pixel circle).
+
+The VS algorithm uses FAST detectors for efficient keypoint detection
+(paper Section III-A, citing Rosten & Drummond).  A pixel is a corner
+when at least ``ARC_LENGTH`` contiguous pixels on the Bresenham circle of
+radius 3 are all brighter than the center plus a threshold, or all darker
+than the center minus it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.image import as_gray
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import Cell, ExecutionContext
+
+#: The 16 (dx, dy) offsets of the Bresenham circle of radius 3, clockwise.
+CIRCLE_OFFSETS: tuple[tuple[int, int], ...] = (
+    (0, -3), (1, -3), (2, -2), (3, -1), (3, 0), (3, 1), (2, 2), (1, 3),
+    (0, 3), (-1, 3), (-2, 2), (-3, 1), (-3, 0), (-3, -1), (-2, -2), (-1, -3),
+)
+
+#: Contiguous arc length required for a corner (FAST-9).
+ARC_LENGTH = 9
+
+#: Circle radius; keypoints cannot sit closer than this to the border.
+BORDER = 3
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected corner with its FAST score."""
+
+    x: int
+    y: int
+    score: float
+
+
+def _circle_stack(image_f: np.ndarray) -> np.ndarray:
+    """Stack the 16 circle neighbours of every interior pixel.
+
+    Returns ``(16, h - 6, w - 6)`` float64 values aligned with the
+    interior region ``image[3:-3, 3:-3]``.
+    """
+    h, w = image_f.shape
+    inner_h, inner_w = h - 2 * BORDER, w - 2 * BORDER
+    stack = np.empty((16, inner_h, inner_w), dtype=np.float64)
+    for index, (dx, dy) in enumerate(CIRCLE_OFFSETS):
+        stack[index] = image_f[
+            BORDER + dy : BORDER + dy + inner_h, BORDER + dx : BORDER + dx + inner_w
+        ]
+    return stack
+
+
+def _contiguous_arc(flags: np.ndarray, arc: int) -> np.ndarray:
+    """True where any ``arc`` contiguous entries (cyclically) are all set.
+
+    ``flags`` is ``(16, ...)`` boolean.
+    """
+    wrapped = np.concatenate([flags, flags[: arc - 1]], axis=0)
+    result = np.zeros(flags.shape[1:], dtype=bool)
+    for start in range(16):
+        window = wrapped[start : start + arc]
+        result |= window.all(axis=0)
+    return result
+
+
+def detect_fast(
+    image: np.ndarray,
+    ctx: ExecutionContext,
+    threshold: int = 20,
+    nms_radius: int = 1,
+) -> list[Keypoint]:
+    """Detect FAST-9 corners with non-maximum suppression.
+
+    Returns keypoints sorted by descending score.
+    """
+    arr = as_gray(image)
+    h, w = arr.shape
+    if h <= 2 * BORDER or w <= 2 * BORDER:
+        return []
+
+    thresh_cell = Cell(int(threshold))
+    image_f = arr.astype(np.float64)
+
+    window = ctx.window("vision.fast.detect")
+    if window is not None:
+        from repro.faultinject.registers import Role
+
+        window.gpr_address("img_ptr", image_f, window=min(4096, image_f.nbytes))
+        window.gpr_cell("fast_thresh", thresh_cell, role=Role.DATA)
+        ctx.checkpoint(window)
+
+    with ctx.scope("vision.fast.detect"):
+        ctx.tick(kernel_cost("fast.px") * h * w)
+        effective_threshold = float(thresh_cell.value)
+        center = image_f[BORDER : h - BORDER, BORDER : w - BORDER]
+        circle = _circle_stack(image_f)
+        brighter = circle > center + effective_threshold
+        darker = circle < center - effective_threshold
+        is_corner = _contiguous_arc(brighter, ARC_LENGTH) | _contiguous_arc(darker, ARC_LENGTH)
+        diff = np.abs(circle - center)
+        over = np.maximum(diff - effective_threshold, 0.0)
+        score = np.where(is_corner, over.sum(axis=0), 0.0)
+
+    # Non-maximum suppression on the score map.
+    candidates = int(np.count_nonzero(score))
+    with ctx.scope("vision.fast.nms"):
+        ctx.tick(kernel_cost("fast.nms_kp") * max(candidates, 1))
+        keep = _nms(score, nms_radius)
+
+    ys, xs = np.nonzero(keep)
+    scores = score[ys, xs]
+    coords = np.stack([xs + BORDER, ys + BORDER], axis=1).astype(np.int64)
+
+    window = ctx.window("vision.fast.keypoints")
+    if window is not None:
+        if coords.size:
+            window.gpr_array("kp_coords", coords)
+        window.fpr_array("kp_scores", scores if scores.size else np.zeros(1))
+        ctx.checkpoint(window)
+
+    order = np.argsort(-scores, kind="stable")
+    return [
+        Keypoint(x=int(coords[i, 0]), y=int(coords[i, 1]), score=float(scores[i]))
+        for i in order
+    ]
+
+
+def _nms(score: np.ndarray, radius: int) -> np.ndarray:
+    """Boolean map of local maxima within a ``(2r+1)`` square window."""
+    if radius < 1:
+        return score > 0
+    padded = np.pad(score, radius, mode="constant", constant_values=-np.inf)
+    best = np.full_like(score, -np.inf)
+    size = 2 * radius + 1
+    for dy in range(size):
+        for dx in range(size):
+            neighbour = padded[dy : dy + score.shape[0], dx : dx + score.shape[1]]
+            np.maximum(best, neighbour, out=best)
+    return (score > 0) & (score >= best)

@@ -1,0 +1,146 @@
+"""Homography estimation: inhomogeneous 4-point solve and normalized DLT.
+
+RANSAC model hypotheses use the fast inhomogeneous 8x8 solve (batched
+across hypotheses); the final refit over all inliers uses the normalized
+DLT with SVD, as standard stitching pipelines do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.geometry import validate_homography
+from repro.runtime.errors import DegenerateModelError, InternalAbortError
+
+#: Minimum correspondences for a homography.
+MIN_POINTS = 4
+
+#: |det| below this marks an 8x8 hypothesis system as degenerate.
+_MIN_SYSTEM_DET = 1e-10
+
+
+def _check_points(src: np.ndarray, dst: np.ndarray, minimum: int) -> tuple[np.ndarray, np.ndarray]:
+    """Validate correspondence arrays; library-level precondition checks.
+
+    Raises :class:`InternalAbortError` (the "abort" crash category) when
+    corrupted state produced structurally invalid inputs.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.ndim != 2 or src.shape[1] != 2 or src.shape != dst.shape:
+        raise InternalAbortError(
+            f"correspondence arrays malformed: src {src.shape}, dst {dst.shape}"
+        )
+    if src.shape[0] < minimum:
+        raise InternalAbortError(f"need >= {minimum} correspondences, got {src.shape[0]}")
+    if not (np.all(np.isfinite(src)) and np.all(np.isfinite(dst))):
+        raise InternalAbortError("correspondences contain non-finite coordinates")
+    return src, dst
+
+
+def solve_homographies_batched(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve many 4-point homography hypotheses at once.
+
+    ``src``/``dst`` are ``(batch, 4, 2)``.  Returns ``(models, ok)``:
+    ``models`` is ``(batch, 3, 3)`` and ``ok`` a boolean mask of
+    hypotheses whose linear system was well conditioned.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    batch = src.shape[0]
+    if src.shape != (batch, 4, 2) or dst.shape != (batch, 4, 2):
+        raise ValueError(f"expected (batch, 4, 2) arrays, got {src.shape} and {dst.shape}")
+
+    x, y = src[:, :, 0], src[:, :, 1]
+    u, v = dst[:, :, 0], dst[:, :, 1]
+    zeros = np.zeros_like(x)
+    ones = np.ones_like(x)
+
+    rows_u = np.stack([x, y, ones, zeros, zeros, zeros, -u * x, -u * y], axis=2)
+    rows_v = np.stack([zeros, zeros, zeros, x, y, ones, -v * x, -v * y], axis=2)
+    systems = np.concatenate([rows_u, rows_v], axis=1)  # (batch, 8, 8)
+    rhs = np.concatenate([u, v], axis=1)  # (batch, 8)
+
+    dets = np.linalg.det(systems)
+    ok = np.abs(dets) > _MIN_SYSTEM_DET
+    models = np.tile(np.eye(3), (batch, 1, 1))
+    if np.any(ok):
+        solutions = np.linalg.solve(systems[ok], rhs[ok][:, :, np.newaxis])[:, :, 0]
+        filled = np.concatenate(
+            [solutions, np.ones((solutions.shape[0], 1))], axis=1
+        ).reshape(-1, 3, 3)
+        models[ok] = filled
+        finite = np.all(np.isfinite(models), axis=(1, 2))
+        ok &= finite
+    return models, ok
+
+
+def _normalization(points: np.ndarray) -> np.ndarray:
+    """Hartley normalization transform for DLT conditioning."""
+    centroid = points.mean(axis=0)
+    spread = np.sqrt(((points - centroid) ** 2).sum(axis=1)).mean()
+    if spread < 1e-9:
+        raise DegenerateModelError("points are coincident; cannot normalize")
+    scale = np.sqrt(2.0) / spread
+    transform = np.array(
+        [
+            [scale, 0.0, -scale * centroid[0]],
+            [0.0, scale, -scale * centroid[1]],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    return transform
+
+
+def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Normalized-DLT homography over all correspondences (least squares).
+
+    Raises :class:`DegenerateModelError` when the configuration does not
+    determine a usable homography.
+    """
+    src, dst = _check_points(src, dst, MIN_POINTS)
+    t_src = _normalization(src)
+    t_dst = _normalization(dst)
+    src_n = (np.hstack([src, np.ones((src.shape[0], 1))]) @ t_src.T)[:, :2]
+    dst_n = (np.hstack([dst, np.ones((dst.shape[0], 1))]) @ t_dst.T)[:, :2]
+
+    n = src_n.shape[0]
+    system = np.zeros((2 * n, 9), dtype=np.float64)
+    x, y = src_n[:, 0], src_n[:, 1]
+    u, v = dst_n[:, 0], dst_n[:, 1]
+    system[0::2, 0] = x
+    system[0::2, 1] = y
+    system[0::2, 2] = 1.0
+    system[0::2, 6] = -u * x
+    system[0::2, 7] = -u * y
+    system[0::2, 8] = -u
+    system[1::2, 3] = x
+    system[1::2, 4] = y
+    system[1::2, 5] = 1.0
+    system[1::2, 6] = -v * x
+    system[1::2, 7] = -v * y
+    system[1::2, 8] = -v
+
+    try:
+        _, singular_values, vt = np.linalg.svd(system)
+    except np.linalg.LinAlgError as exc:
+        raise DegenerateModelError(f"DLT SVD failed: {exc}") from exc
+    if singular_values[-2] < 1e-12:
+        raise DegenerateModelError("DLT system is rank deficient")
+    h_normalized = vt[-1].reshape(3, 3)
+    model = np.linalg.inv(t_dst) @ h_normalized @ t_src
+    return validate_homography(model)
+
+
+def homography_residuals(model: np.ndarray, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Euclidean reprojection residual of each correspondence."""
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    homo = np.hstack([src, np.ones((src.shape[0], 1))]) @ np.asarray(model).T
+    w = homo[:, 2]
+    bad = np.abs(w) < 1e-12
+    w = np.where(bad, 1.0, w)
+    projected = homo[:, :2] / w[:, np.newaxis]
+    residuals = np.sqrt(((projected - dst) ** 2).sum(axis=1))
+    residuals[bad] = np.inf
+    return residuals

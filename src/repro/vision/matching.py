@@ -1,0 +1,147 @@
+"""Descriptor matching: brute-force Hamming with two matching policies.
+
+* :func:`match_ratio` — the baseline VS policy (paper Section IV): for
+  each key point the two nearest neighbours are found and the match is
+  kept only when the nearest is sufficiently closer than the second
+  nearest (Lowe's ratio test), which suppresses false positives.
+* :func:`match_simple` — the VS_SM approximation: only the single
+  nearest neighbour is computed, and the match is kept when its absolute
+  Hamming distance is below a fixed bound.
+
+Matching cost is quadratic in the number of key points — the lever the
+VS_KDS approximation pulls by matching only a third of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import Cell, ExecutionContext
+
+#: Lookup table: popcount of every byte value.
+_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+#: Rows of the distance matrix computed per checkpoint batch.
+_ROW_BATCH = 32
+
+
+@dataclass
+class MatchSet:
+    """Correspondences between two descriptor sets."""
+
+    query_idx: np.ndarray  # (m,) int64 indices into the first set
+    train_idx: np.ndarray  # (m,) int64 indices into the second set
+    distance: np.ndarray  # (m,) int64 Hamming distances
+
+    def __len__(self) -> int:
+        return int(self.query_idx.shape[0])
+
+    @staticmethod
+    def empty() -> "MatchSet":
+        """An empty match set."""
+        zero = np.zeros(0, dtype=np.int64)
+        return MatchSet(zero, zero.copy(), zero.copy())
+
+
+def hamming_distance_matrix(
+    first: np.ndarray,
+    second: np.ndarray,
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    """Dense Hamming distances between two packed descriptor sets.
+
+    ``first`` is ``(n1, 32) uint8``, ``second`` ``(n2, 32) uint8``;
+    returns ``(n1, n2) int64``.
+    """
+    n1 = first.shape[0]
+    n2 = second.shape[0]
+    if n1 == 0 or n2 == 0:
+        return np.zeros((n1, n2), dtype=np.int64)
+
+    distances = np.zeros((n1, n2), dtype=np.int64)
+    row = Cell(0)
+    row_end = Cell(n1)
+    while row.value < row_end.value:
+        start_hint = int(row.value)
+        window = ctx.window("vision.matching.hamming")
+        if window is not None:
+            from repro.faultinject.registers import Role
+
+            window.gpr_address("descA_ptr", first, byte_offset=start_hint * first.shape[1])
+            window.gpr_address("descB_ptr", second)
+            window.gpr_cell("match_row", row, role=Role.CONTROL)
+            window.gpr_cell("match_rows_end", row_end, role=Role.CONTROL)
+            window.gpr_array("dist_block", distances)
+            ctx.checkpoint(window)
+
+        start = int(row.value)
+        stop = min(start + _ROW_BATCH, int(row_end.value))
+        if start < 0 or stop > n1:
+            # A corrupted row counter walks the loads off the table.
+            from repro.runtime.errors import SegmentationFault
+
+            raise SegmentationFault(start, "descriptor table overrun")
+        if start >= stop:
+            row.value = start + _ROW_BATCH
+            continue
+
+        with ctx.scope("vision.matching.hamming"):
+            ctx.tick(kernel_cost("match.pair") * (stop - start) * n2)
+            xor = first[start:stop, np.newaxis, :] ^ second[np.newaxis, :, :]
+            distances[start:stop] = _POPCOUNT[xor].sum(axis=2, dtype=np.int64)
+        row.value = stop
+
+    return distances
+
+
+def match_ratio(
+    first: np.ndarray,
+    second: np.ndarray,
+    ctx: ExecutionContext,
+    ratio: float = 0.75,
+) -> MatchSet:
+    """Two-nearest-neighbour matching with Lowe's ratio test."""
+    distances = hamming_distance_matrix(first, second, ctx)
+    if distances.size == 0 or distances.shape[1] < 2:
+        return MatchSet.empty()
+
+    with ctx.scope("vision.matching.select"):
+        ctx.tick(kernel_cost("match.pair") * distances.shape[0])
+        nearest = np.argmin(distances, axis=1)
+        d1 = distances[np.arange(distances.shape[0]), nearest]
+        masked = distances.copy()
+        masked[np.arange(distances.shape[0]), nearest] = np.iinfo(np.int64).max
+        d2 = masked.min(axis=1)
+        good = d1 < ratio * d2
+
+    query = np.nonzero(good)[0].astype(np.int64)
+    return MatchSet(query, nearest[good].astype(np.int64), d1[good].astype(np.int64))
+
+
+def match_simple(
+    first: np.ndarray,
+    second: np.ndarray,
+    ctx: ExecutionContext,
+    max_distance: int = 32,
+) -> MatchSet:
+    """VS_SM: single nearest neighbour with an absolute distance bound.
+
+    Only near-perfect matches survive; identical-looking objects can
+    still map to the wrong instance (the residual error source the paper
+    notes for this approximation).
+    """
+    distances = hamming_distance_matrix(first, second, ctx)
+    if distances.size == 0:
+        return MatchSet.empty()
+
+    with ctx.scope("vision.matching.select"):
+        ctx.tick(kernel_cost("match.pair") * distances.shape[0])
+        nearest = np.argmin(distances, axis=1)
+        d1 = distances[np.arange(distances.shape[0]), nearest]
+        good = d1 <= max_distance
+
+    query = np.nonzero(good)[0].astype(np.int64)
+    return MatchSet(query, nearest[good].astype(np.int64), d1[good].astype(np.int64))

@@ -1,0 +1,200 @@
+"""ORB-style features: oriented FAST keypoints + rotated BRIEF descriptors.
+
+Mirrors the feature front end the paper's VS algorithm uses (Section
+III-A, citing Rublee et al.): FAST detection, Harris ranking of the
+candidates, intensity-centroid orientation, and a steered 256-bit BRIEF
+descriptor sampled from a blurred patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.filters import gaussian_blur, harris_response
+from repro.imaging.image import as_gray
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import ExecutionContext
+from repro.vision.fast import detect_fast
+
+#: Number of BRIEF test pairs (bits) per descriptor.
+DESCRIPTOR_BITS = 256
+
+#: Bytes per packed descriptor.
+DESCRIPTOR_BYTES = DESCRIPTOR_BITS // 8
+
+#: Half-width of the BRIEF sampling pattern.
+PATTERN_RADIUS = 6
+
+#: Keypoints closer than this to the border are dropped (rotation can
+#: push pattern samples out to ``PATTERN_RADIUS * sqrt(2)``).
+ORB_BORDER = 10
+
+#: Patch half-width for the intensity-centroid orientation.
+CENTROID_RADIUS = 7
+
+#: Keypoints described per checkpoint batch.
+_BATCH = 32
+
+
+@dataclass
+class FeatureSet:
+    """Keypoints and descriptors extracted from one frame."""
+
+    coords: np.ndarray  # (n, 2) int64 pixel coordinates (x, y)
+    descriptors: np.ndarray  # (n, 32) uint8 packed 256-bit descriptors
+    angles: np.ndarray  # (n,) float64 orientation in radians
+
+    def __len__(self) -> int:
+        return int(self.coords.shape[0])
+
+
+def brief_pattern(seed: int = 1234) -> np.ndarray:
+    """The fixed BRIEF test pattern: ``(256, 2, 2)`` integer offsets.
+
+    Offsets are drawn from a clipped Gaussian, the distribution the BRIEF
+    paper found best, and are identical across the whole library (the
+    pattern is baked into the algorithm, not per-run randomness).
+    """
+    rng = np.random.default_rng(seed)
+    pattern = rng.normal(0.0, PATTERN_RADIUS / 2.0, size=(DESCRIPTOR_BITS, 2, 2))
+    return np.clip(np.round(pattern), -PATTERN_RADIUS, PATTERN_RADIUS).astype(np.int64)
+
+
+_PATTERN = brief_pattern()
+
+
+def orientation_angles(image_f: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Intensity-centroid orientation of each keypoint patch (radians)."""
+    radius = CENTROID_RADIUS
+    offsets = np.arange(-radius, radius + 1)
+    oy, ox = np.meshgrid(offsets, offsets, indexing="ij")
+    disk = (ox**2 + oy**2) <= radius**2
+    angles = np.empty(coords.shape[0], dtype=np.float64)
+    for index, (x, y) in enumerate(coords):
+        patch = image_f[y - radius : y + radius + 1, x - radius : x + radius + 1]
+        masked = patch * disk
+        m10 = float((masked * ox).sum())
+        m01 = float((masked * oy).sum())
+        angles[index] = float(np.arctan2(m01, m10))
+    return angles
+
+
+def _steered_samples(coords: np.ndarray, angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rotate the BRIEF pattern per keypoint; returns two (n, 256, 2) int grids."""
+    cos = np.cos(angles)[:, np.newaxis]
+    sin = np.sin(angles)[:, np.newaxis]
+    pattern = _PATTERN.astype(np.float64)
+
+    def rotate(points: np.ndarray) -> np.ndarray:
+        px = points[:, 0][np.newaxis, :]
+        py = points[:, 1][np.newaxis, :]
+        rx = np.round(cos * px - sin * py).astype(np.int64)
+        ry = np.round(sin * px + cos * py).astype(np.int64)
+        return np.stack([rx, ry], axis=2)
+
+    first = rotate(pattern[:, 0, :]) + coords[:, np.newaxis, :]
+    second = rotate(pattern[:, 1, :]) + coords[:, np.newaxis, :]
+    return first, second
+
+
+def _gather(image_f: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Sample image values at integer points with border clamping."""
+    h, w = image_f.shape
+    xs = np.clip(points[..., 0], 0, w - 1)
+    ys = np.clip(points[..., 1], 0, h - 1)
+    return image_f[ys, xs]
+
+
+def describe(
+    image_blurred_f: np.ndarray,
+    coords: np.ndarray,
+    ctx: ExecutionContext,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute packed steered-BRIEF descriptors for ``coords``.
+
+    Returns ``(descriptors (n, 32) uint8, angles (n,) float64)``.
+    """
+    n = coords.shape[0]
+    descriptors = np.zeros((n, DESCRIPTOR_BYTES), dtype=np.uint8)
+    angles = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return descriptors, angles
+
+    for start in range(0, n, _BATCH):
+        stop = min(start + _BATCH, n)
+        batch_coords = coords[start:stop]
+
+        window = ctx.window("vision.orb.describe")
+        if window is not None:
+            window.gpr_address("patch_ptr", image_blurred_f, window=min(4096, image_blurred_f.nbytes))
+            window.gpr_array("kp_xy", batch_coords)
+            ctx.checkpoint(window)
+
+        with ctx.scope("vision.orb.describe"):
+            ctx.tick(kernel_cost("orb.describe_kp") * (stop - start))
+            # Library precondition (the OpenCV CV_Assert analog): key
+            # points must lie sensibly near the image.  Grossly corrupted
+            # coordinates trip it — the paper's "abort" crash category.
+            h, w = image_blurred_f.shape
+            limit = 8 * max(h, w)
+            if np.any(np.abs(batch_coords) > limit):
+                from repro.runtime.errors import InternalAbortError
+
+                raise InternalAbortError("keypoint coordinates outside image bounds")
+            # Mildly corrupted coordinates are clamped into the image
+            # (border replication), producing garbage descriptors rather
+            # than a wild read; the pointer binding models the wild-read
+            # case.
+            safe_coords = np.clip(
+                batch_coords,
+                [ORB_BORDER, ORB_BORDER],
+                [image_blurred_f.shape[1] - 1 - ORB_BORDER, image_blurred_f.shape[0] - 1 - ORB_BORDER],
+            )
+            batch_angles = orientation_angles(image_blurred_f, safe_coords)
+            first, second = _steered_samples(safe_coords, batch_angles)
+            bits = _gather(image_blurred_f, first) < _gather(image_blurred_f, second)
+            descriptors[start:stop] = np.packbits(bits, axis=1)
+            angles[start:stop] = batch_angles
+
+    window = ctx.window("vision.orb.descriptors")
+    if window is not None:
+        window.gpr_array("desc_bytes", descriptors)
+        window.fpr_array("kp_angles", angles)
+        ctx.checkpoint(window)
+
+    return descriptors, angles
+
+
+def orb_features(
+    image: np.ndarray,
+    ctx: ExecutionContext,
+    n_keypoints: int = 100,
+    fast_threshold: int = 20,
+) -> FeatureSet:
+    """Full ORB front end: blur, detect, rank, orient and describe."""
+    arr = as_gray(image)
+    h, w = arr.shape
+    blurred = gaussian_blur(arr, sigma=1.1, ctx=ctx)
+    blurred_f = blurred.astype(np.float64)
+
+    keypoints = detect_fast(arr, ctx, threshold=fast_threshold)
+    in_bounds = [
+        kp
+        for kp in keypoints
+        if ORB_BORDER <= kp.x < w - ORB_BORDER and ORB_BORDER <= kp.y < h - ORB_BORDER
+    ]
+    if not in_bounds:
+        empty = np.zeros((0, 2), dtype=np.int64)
+        return FeatureSet(empty, np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8), np.zeros(0))
+
+    with ctx.scope("vision.orb.rank"):
+        ctx.tick(kernel_cost("orb.harris_px") * h * w)
+        response = harris_response(arr)
+        ranked = sorted(in_bounds, key=lambda kp: -response[kp.y, kp.x])
+
+    selected = ranked[:n_keypoints]
+    coords = np.array([[kp.x, kp.y] for kp in selected], dtype=np.int64)
+    descriptors, angles = describe(blurred_f, coords, ctx)
+    return FeatureSet(coords, descriptors, angles)

@@ -1,0 +1,240 @@
+"""RANSAC homography estimation over matched key points.
+
+RANSAC (paper Section III-A, citing Fischler & Bolles) is both the
+robust-estimation core of the stitcher and a major *masking* mechanism in
+the resiliency experiments: corrupted correspondences are voted out as
+outliers and never reach the panorama.
+
+Hypotheses are evaluated in vectorized batches; the iteration budget is
+held in a :class:`Cell` so a control-register flip can inflate it, which
+is the library's main source of *Hang* outcomes (compute-bound loop, no
+memory writes to trap on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.cost import kernel_cost
+from repro.runtime.context import Cell, ExecutionContext
+from repro.runtime.errors import DegenerateModelError, InsufficientMatchesError
+from repro.vision.homography import (
+    MIN_POINTS,
+    estimate_homography,
+    homography_residuals,
+    solve_homographies_batched,
+)
+
+#: Hypotheses evaluated per vectorized batch (one checkpoint per batch).
+_HYPOTHESIS_BATCH = 16
+
+#: Hard cap on total hypotheses in a clean run.
+DEFAULT_MAX_ITERATIONS = 512
+
+#: If no consensus set of the required size has shown up after this many
+#: hypotheses, the search is hopeless and the estimator gives up early
+#: rather than burning the whole budget on an unmatchable frame pair.
+ABANDON_AFTER = 96
+
+
+@dataclass
+class RansacResult:
+    """Estimated model plus its consensus set."""
+
+    model: np.ndarray  # (3, 3) homography
+    inlier_mask: np.ndarray  # (n,) bool
+    iterations: int
+
+    @property
+    def num_inliers(self) -> int:
+        """Size of the consensus set."""
+        return int(np.count_nonzero(self.inlier_mask))
+
+
+def _required_iterations(inlier_ratio: float, confidence: float, sample_size: int) -> int:
+    """Standard RANSAC stopping criterion."""
+    inlier_ratio = min(max(inlier_ratio, 1e-6), 1.0 - 1e-12)
+    success = inlier_ratio**sample_size
+    if success >= 1.0 - 1e-12:
+        return 1
+    needed = np.log(1.0 - confidence) / np.log(1.0 - success)
+    return int(np.ceil(needed))
+
+
+def ransac_homography(
+    src_pts: np.ndarray,
+    dst_pts: np.ndarray,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    inlier_threshold: float = 3.0,
+    confidence: float = 0.995,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    min_inliers: int = 8,
+) -> RansacResult:
+    """Robustly estimate the homography mapping ``src_pts`` to ``dst_pts``.
+
+    Raises :class:`InsufficientMatchesError` when no model with at least
+    ``min_inliers`` supporters exists — the condition under which the
+    pipeline falls back to an affine estimate or discards the frame.
+    """
+    src = np.asarray(src_pts, dtype=np.float64)
+    dst = np.asarray(dst_pts, dtype=np.float64)
+    n = src.shape[0]
+    if n < max(MIN_POINTS, min_inliers):
+        raise InsufficientMatchesError(f"{n} correspondences < required {min_inliers}")
+
+    iteration = Cell(0)
+    budget = Cell(int(max_iterations))
+    best_count = 0
+    best_mask: np.ndarray | None = None
+
+    while iteration.value < budget.value:
+        window = ctx.window("vision.ransac.hypotheses")
+        if window is not None:
+            from repro.faultinject.registers import Role
+
+            window.gpr_cell("ransac_iter", iteration, role=Role.CONTROL)
+            window.gpr_cell("ransac_budget", budget, role=Role.CONTROL)
+            window.gpr_address("src_pts_ptr", src)
+            window.gpr_address("dst_pts_ptr", dst)
+            window.gpr_value(
+                "best_count",
+                best_count,
+                apply=lambda value: None,  # score register; overwritten below
+            )
+            ctx.checkpoint(window)
+
+        start = int(iteration.value)
+        remaining = int(budget.value) - start
+        if remaining <= 0:
+            break
+        batch = min(_HYPOTHESIS_BATCH, remaining)
+
+        with ctx.scope("vision.ransac.iterate"):
+            ctx.tick(kernel_cost("ransac.iter") * batch)
+            # Uniform 4-subsets via argpartition of iid uniforms (much
+            # faster than per-hypothesis rng.choice in a Python loop).
+            scores = rng.random((batch, n))
+            samples = np.argpartition(scores, MIN_POINTS, axis=1)[:, :MIN_POINTS]
+            models, ok = solve_homographies_batched(src[samples], dst[samples])
+            for index in np.nonzero(ok)[0]:
+                residuals = homography_residuals(models[index], src, dst)
+                mask = residuals < inlier_threshold
+                count = int(np.count_nonzero(mask))
+                if count > best_count:
+                    best_count = count
+                    best_mask = mask
+
+        iteration.value = start + batch
+        if best_count >= min_inliers:
+            needed = _required_iterations(best_count / n, confidence, MIN_POINTS)
+            if needed < budget.value:
+                budget.value = max(int(iteration.value), needed)
+        elif int(iteration.value) >= ABANDON_AFTER:
+            break
+
+    if best_mask is None or best_count < min_inliers:
+        raise InsufficientMatchesError(
+            f"RANSAC found no model with >= {min_inliers} inliers (best {best_count})"
+        )
+
+    with ctx.scope("vision.ransac.refit"):
+        ctx.tick(kernel_cost("homography.solve"))
+        try:
+            model = estimate_homography(src[best_mask], dst[best_mask])
+        except DegenerateModelError:
+            # Fall back to the best hypothesis-level consensus refit over
+            # the minimal sample; rare, but keeps marginal frames usable.
+            raise InsufficientMatchesError("inlier refit degenerate")
+
+    residuals = homography_residuals(model, src, dst)
+    final_mask = residuals < inlier_threshold
+    if int(np.count_nonzero(final_mask)) < min_inliers:
+        raise InsufficientMatchesError("refit model lost its consensus set")
+    return RansacResult(model=model, inlier_mask=final_mask, iterations=int(iteration.value))
+
+
+def ransac_affine(
+    src_pts: np.ndarray,
+    dst_pts: np.ndarray,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    inlier_threshold: float = 3.0,
+    max_iterations: int = 128,
+    min_inliers: int = 5,
+) -> RansacResult:
+    """Robust affine estimation — the pipeline's fallback model.
+
+    Used when too few correspondences support a homography (paper
+    Section III-A); needs 3-point samples instead of 4.
+    """
+    from repro.vision.affine import affine_residuals, estimate_affine, solve_affines_batched
+    from repro.vision.affine import MIN_POINTS as AFFINE_MIN
+
+    src = np.asarray(src_pts, dtype=np.float64)
+    dst = np.asarray(dst_pts, dtype=np.float64)
+    n = src.shape[0]
+    if n < max(AFFINE_MIN, min_inliers):
+        raise InsufficientMatchesError(f"{n} correspondences < required {min_inliers}")
+
+    iteration = Cell(0)
+    budget = Cell(int(max_iterations))
+    best_count = 0
+    best_mask: np.ndarray | None = None
+
+    while iteration.value < budget.value:
+        window = ctx.window("vision.ransac.affine_hypotheses")
+        if window is not None:
+            from repro.faultinject.registers import Role
+
+            window.gpr_cell("aff_iter", iteration, role=Role.CONTROL)
+            window.gpr_cell("aff_budget", budget, role=Role.CONTROL)
+            window.gpr_address("aff_src_ptr", src)
+            window.gpr_address("aff_dst_ptr", dst)
+            ctx.checkpoint(window)
+
+        start = int(iteration.value)
+        remaining = int(budget.value) - start
+        if remaining <= 0:
+            break
+        batch = min(_HYPOTHESIS_BATCH, remaining)
+
+        with ctx.scope("vision.ransac.iterate"):
+            ctx.tick(kernel_cost("ransac.iter") * batch)
+            scores = rng.random((batch, n))
+            samples = np.argpartition(scores, AFFINE_MIN, axis=1)[:, :AFFINE_MIN]
+            models, ok = solve_affines_batched(src[samples], dst[samples])
+            for index in np.nonzero(ok)[0]:
+                residuals = affine_residuals(models[index], src, dst)
+                mask = residuals < inlier_threshold
+                count = int(np.count_nonzero(mask))
+                if count > best_count:
+                    best_count = count
+                    best_mask = mask
+        iteration.value = start + batch
+        if best_count >= min_inliers:
+            needed = _required_iterations(best_count / n, 0.995, AFFINE_MIN)
+            if needed < budget.value:
+                budget.value = max(int(iteration.value), needed)
+        elif int(iteration.value) >= ABANDON_AFTER:
+            break
+
+    if best_mask is None or best_count < min_inliers:
+        raise InsufficientMatchesError(
+            f"affine RANSAC found no model with >= {min_inliers} inliers (best {best_count})"
+        )
+
+    with ctx.scope("vision.ransac.refit"):
+        ctx.tick(kernel_cost("affine.solve"))
+        try:
+            model = estimate_affine(src[best_mask], dst[best_mask])
+        except DegenerateModelError:
+            raise InsufficientMatchesError("affine inlier refit degenerate")
+
+    residuals = affine_residuals(model, src, dst)
+    final_mask = residuals < inlier_threshold
+    if int(np.count_nonzero(final_mask)) < min_inliers:
+        raise InsufficientMatchesError("affine refit lost its consensus set")
+    return RansacResult(model=model, inlier_mask=final_mask, iterations=int(iteration.value))

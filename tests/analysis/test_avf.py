@@ -1,0 +1,120 @@
+"""Tests for the AVF analysis over campaign data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.avf import bit_avf, register_avf, role_avf, workload_avf
+from repro.faultinject.campaign import CampaignConfig, CampaignResult
+from repro.faultinject.injector import InjectionPlan, InjectionRecord
+from repro.faultinject.monitor import InjectionResult
+from repro.faultinject.outcomes import Outcome, OutcomeCounts, RunningRates
+from repro.faultinject.registers import FlipEffect, RegKind, Role
+
+
+def make_result(outcome, register=0, bit=0, role=None, effect=FlipEffect.APPLIED):
+    plan = InjectionPlan(0, RegKind.GPR, register, bit)
+    record = InjectionRecord(plan, fired=True, role=role, effect=effect)
+    return InjectionResult(plan=plan, record=record, outcome=outcome)
+
+
+def make_campaign(results):
+    counts = OutcomeCounts()
+    for result in results:
+        counts.add(result.outcome, result.crash_kind)
+    return CampaignResult(
+        config=CampaignConfig(n_injections=len(results), kind=RegKind.GPR),
+        counts=counts,
+        running=RunningRates(),
+        results=results,
+        register_histogram=np.zeros(32, dtype=np.int64),
+        bit_histogram=np.zeros(64, dtype=np.int64),
+    )
+
+
+class TestRegisterAVF:
+    def test_vulnerable_register_identified(self):
+        results = [make_result(Outcome.CRASH, register=3)] * 8
+        results += [make_result(Outcome.MASKED, register=7)] * 8
+        avfs = register_avf(make_campaign(results))
+        assert avfs[3].avf == 1.0
+        assert avfs[7].avf == 0.0
+        assert avfs[0].total == 0
+
+    def test_interval_contains_point(self):
+        results = [make_result(Outcome.CRASH, register=1)] * 3
+        results += [make_result(Outcome.MASKED, register=1)] * 7
+        avfs = register_avf(make_campaign(results))
+        lo, hi = avfs[1].confidence_interval
+        assert lo <= avfs[1].avf <= hi
+
+
+class TestBitAVF:
+    def test_bucketing(self):
+        results = [make_result(Outcome.CRASH, bit=60)] * 4
+        results += [make_result(Outcome.MASKED, bit=2)] * 4
+        buckets = bit_avf(make_campaign(results), bucket_size=8)
+        assert len(buckets) == 8
+        assert buckets[7].avf == 1.0  # bits 56-63
+        assert buckets[0].avf == 0.0  # bits 0-7
+
+    def test_bad_bucket_size_rejected(self):
+        with pytest.raises(ValueError):
+            bit_avf(make_campaign([]), bucket_size=7)
+
+
+class TestRoleAVF:
+    def test_roles_separated(self):
+        results = [make_result(Outcome.CRASH, role=Role.ADDRESS)] * 5
+        results += [make_result(Outcome.SDC, role=Role.DATA)] * 2
+        results += [make_result(Outcome.MASKED, role=Role.DATA)] * 3
+        results += [make_result(Outcome.MASKED, role=None, effect=FlipEffect.DEAD_EMPTY)] * 4
+        by_label = {est.label: est for est in role_avf(make_campaign(results))}
+        assert by_label["address"].avf == 1.0
+        assert by_label["data"].avf == pytest.approx(0.4)
+        assert by_label["dead"].avf == 0.0
+        assert by_label["dead"].total == 4
+
+    def test_stale_hits_count_as_dead(self):
+        results = [
+            make_result(Outcome.MASKED, role=Role.ADDRESS, effect=FlipEffect.DEAD_STALE)
+        ]
+        by_label = {est.label: est for est in role_avf(make_campaign(results))}
+        assert by_label["dead"].total == 1
+        assert by_label["address"].total == 0
+
+
+class TestWorkloadAVF:
+    def test_overall(self):
+        results = [make_result(Outcome.CRASH)] * 3 + [make_result(Outcome.MASKED)] * 7
+        estimate = workload_avf(make_campaign(results))
+        assert estimate.avf == pytest.approx(0.3)
+        assert estimate.total == 10
+
+    def test_empty_campaign(self):
+        estimate = workload_avf(make_campaign([]))
+        assert estimate.avf == 0.0
+
+
+class TestOnRealCampaign:
+    def test_address_role_most_vulnerable(self, tiny_stream2, tiny_config):
+        """On the real pipeline, ADDRESS hits must out-AVF dead slots."""
+        from repro.faultinject.campaign import run_campaign
+        from repro.runtime.context import ExecutionContext
+        from repro.summarize.golden import golden_run
+        from repro.summarize.pipeline import run_vs
+
+        golden = golden_run(tiny_stream2, tiny_config)
+
+        def workload(ctx: ExecutionContext):
+            return run_vs(tiny_stream2, tiny_config, ctx).panorama
+
+        campaign = run_campaign(
+            workload,
+            golden.output,
+            golden.total_cycles,
+            CampaignConfig(n_injections=50, kind=RegKind.GPR, seed=3, keep_sdc_outputs=False),
+        )
+        by_label = {est.label: est for est in role_avf(campaign)}
+        assert by_label["dead"].avf == 0.0
+        if by_label["address"].total >= 5:
+            assert by_label["address"].avf > 0.5

@@ -1,0 +1,63 @@
+"""Tests for knee detection and coverage uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import coverage_uniformity, knee_point
+from repro.faultinject.outcomes import Outcome, OutcomeCounts, RunningRates
+
+
+def build_running(outcomes: list[Outcome]) -> RunningRates:
+    counts = OutcomeCounts()
+    running = RunningRates()
+    for outcome in outcomes:
+        counts.add(outcome)
+        running.record(counts)
+    return running
+
+
+class TestKnee:
+    def test_settles_after_burn_in(self):
+        # 10 crashes, then a long steady alternation: rates converge.
+        outcomes = [Outcome.CRASH] * 10 + [Outcome.MASKED, Outcome.CRASH] * 200
+        running = build_running(outcomes)
+        knee = knee_point(running, tolerance=0.05)
+        assert knee is not None
+        assert knee < 150
+
+    def test_never_settles(self):
+        # Distribution keeps drifting: first all masked, then all crash.
+        outcomes = [Outcome.MASKED] * 100 + [Outcome.CRASH] * 100
+        running = build_running(outcomes)
+        knee = knee_point(running, tolerance=0.01)
+        assert knee is None or knee > 150
+
+    def test_empty_running(self):
+        assert knee_point(RunningRates()) is None
+
+    def test_tolerance_monotone(self):
+        outcomes = [Outcome.CRASH] * 5 + [Outcome.MASKED, Outcome.CRASH] * 100
+        running = build_running(outcomes)
+        loose = knee_point(running, tolerance=0.2)
+        tight = knee_point(running, tolerance=0.01)
+        assert loose is not None
+        if tight is not None:
+            assert loose <= tight
+
+
+class TestCoverageUniformity:
+    def test_uniform_histogram_is_zero(self):
+        assert coverage_uniformity(np.full(32, 10)) == 0.0
+
+    def test_skewed_histogram_is_large(self):
+        hist = np.zeros(32)
+        hist[0] = 320
+        assert coverage_uniformity(hist) > 3.0
+
+    def test_empty_histogram(self):
+        assert coverage_uniformity(np.zeros(32)) == 0.0
+
+    def test_random_uniform_is_small(self):
+        rng = np.random.default_rng(0)
+        hist = np.bincount(rng.integers(0, 32, 2000), minlength=32)
+        assert coverage_uniformity(hist) < 0.3

@@ -1,0 +1,121 @@
+"""Tests for the experiment harness at tiny scale.
+
+These are smoke-level integration checks: each figure entry point must
+run end to end at TINY scale and produce structurally valid results.
+The benchmark harness exercises the same entry points at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ALGORITHMS,
+    INPUTS,
+    TINY,
+    fig05_perf_energy,
+    fig06_output_quality,
+    fig08_profile,
+    fig13_diff_visualization,
+    input_stream,
+    scale_from_env,
+)
+
+
+class TestScale:
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env().name == "tiny"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env().name == "quick"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+
+class TestInputs:
+    def test_streams_cached(self):
+        assert input_stream("input1", TINY) is input_stream("input1", TINY)
+
+    def test_both_inputs_available(self):
+        for name in INPUTS:
+            stream = input_stream(name, TINY)
+            assert len(stream) == TINY.n_frames
+
+
+class TestFig05:
+    def test_rows_cover_grid(self):
+        rows = fig05_perf_energy(TINY)
+        assert len(rows) == len(INPUTS) * len(ALGORITHMS)
+        for row in rows:
+            assert row.normalized_time > 0
+            assert row.normalized_energy > 0
+
+    def test_baseline_normalized_to_one(self):
+        rows = fig05_perf_energy(TINY)
+        for row in rows:
+            if row.algorithm == "VS":
+                assert row.normalized_time == pytest.approx(1.0)
+                assert row.normalized_energy == pytest.approx(1.0)
+                assert row.normalized_ipc == pytest.approx(1.0)
+
+    def test_ipc_roughly_constant(self):
+        """The paper observes IPC stays ~constant across variants."""
+        rows = fig05_perf_energy(TINY)
+        for row in rows:
+            assert 0.9 < row.normalized_ipc < 1.1
+
+    def test_energy_tracks_time(self):
+        rows = fig05_perf_energy(TINY)
+        for row in rows:
+            assert row.normalized_energy == pytest.approx(row.normalized_time, rel=0.1)
+
+
+class TestFig06:
+    def test_quality_rows(self):
+        rows = fig06_output_quality(TINY)
+        assert len(rows) == len(INPUTS) * len(ALGORITHMS)
+        for row in rows:
+            assert row.relative_l2_norm >= 0.0
+            if row.algorithm == "VS":
+                assert row.relative_l2_norm == pytest.approx(0.0)
+
+
+class TestFig08:
+    def test_profile_reports(self):
+        reports = fig08_profile(TINY)
+        assert len(reports) == len(INPUTS)
+        for report in reports:
+            assert 0.0 < report.hot_fraction < 1.0
+            assert report.hot_fraction <= report.library_fraction <= 1.0
+            assert sum(line.fraction for line in report.lines) == pytest.approx(1.0)
+
+    def test_warp_is_hot(self):
+        reports = fig08_profile(TINY)
+        for report in reports:
+            assert report.lines[0].bucket in (
+                "warpPerspectiveInvoker",
+                "cv::BFMatcher (Hamming)",
+            )
+
+
+class TestFig13:
+    def test_panels(self):
+        panels = fig13_diff_visualization(TINY)
+        assert len(panels) == len(INPUTS)
+        for panel in panels:
+            assert panel.default_output.shape == panel.approx_output.shape
+            assert panel.absolute_diff.shape == panel.default_output.shape
+            # Thresholding keeps a subset of the raw difference.
+            assert np.all(panel.thresholded_diff <= panel.absolute_diff)
+            assert panel.relative_l2_norm >= 0.0
+
+    def test_threshold_reduces_energy(self):
+        panels = fig13_diff_visualization(TINY)
+        for panel in panels:
+            raw = float((panel.absolute_diff.astype(np.float64) ** 2).sum())
+            kept = float((panel.thresholded_diff.astype(np.float64) ** 2).sum())
+            assert kept <= raw

@@ -1,0 +1,76 @@
+"""Smoke tests for the campaign-based experiment entry points (TINY scale).
+
+These run real (small) injection campaigns end to end, so they are the
+slowest tests in the suite (~2-3 minutes together).  The benchmark
+harness exercises the same entry points at full scale with shape
+assertions; here we only check structural integrity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ALGORITHMS,
+    TINY,
+    fig09_coverage,
+    fig10_resiliency,
+    fig11a_approx_resiliency,
+    fig12_sdc_quality,
+)
+from repro.faultinject.registers import RegKind
+
+
+class TestFig09:
+    def test_structure(self):
+        study = fig09_coverage(TINY)
+        assert study.campaign.counts.total == TINY.convergence_injections
+        assert study.campaign.register_histogram.sum() == TINY.convergence_injections
+        assert study.register_cv >= 0.0
+        xs, ys = study.campaign.running.series(
+            __import__("repro.faultinject.outcomes", fromlist=["Outcome"]).Outcome.MASKED
+        )
+        assert len(xs) == TINY.convergence_injections
+        assert np.all((ys >= 0) & (ys <= 1))
+
+
+class TestFig10:
+    def test_structure(self):
+        cells = fig10_resiliency(TINY)
+        assert len(cells) == 4  # 2 inputs x 2 register kinds
+        kinds = {(c.input_name, c.kind) for c in cells}
+        assert ("input1", RegKind.GPR) in kinds
+        assert ("input2", RegKind.FPR) in kinds
+        for cell in cells:
+            assert cell.counts.total == TINY.injections
+            assert sum(cell.rates().values()) == pytest.approx(1.0)
+
+    def test_fpr_masks_more_than_gpr(self):
+        cells = fig10_resiliency(TINY)
+        from repro.faultinject.outcomes import Outcome
+
+        gpr = [c for c in cells if c.kind is RegKind.GPR]
+        fpr = [c for c in cells if c.kind is RegKind.FPR]
+        mean_gpr_mask = np.mean([c.counts.rate(Outcome.MASKED) for c in gpr])
+        mean_fpr_mask = np.mean([c.counts.rate(Outcome.MASKED) for c in fpr])
+        assert mean_fpr_mask > mean_gpr_mask
+
+
+class TestFig11a:
+    def test_structure(self):
+        cells = fig11a_approx_resiliency(TINY)
+        assert len(cells) == 2 * len(ALGORITHMS)
+        for cell in cells:
+            assert cell.kind is RegKind.GPR
+            assert cell.counts.total == TINY.injections
+
+
+class TestFig12:
+    def test_structure(self):
+        studies = fig12_sdc_quality(TINY)
+        assert len(studies) == 2
+        for study in studies:
+            assert set(study.vs_golden_curves) == set(ALGORITHMS)
+            assert set(study.approx_golden_curves) == set(ALGORITHMS)
+            for algorithm in ALGORITHMS:
+                curve = study.approx_golden_curves[algorithm]
+                assert curve.total_sdcs == study.sdc_counts[algorithm]

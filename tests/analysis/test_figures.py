@@ -1,0 +1,58 @@
+"""Tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_cdf_panel, render_histogram, render_series, sparkline
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(np.arange(500), width=60)) <= 60
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        glyphs = " .:-=+*#%@"
+        line = sparkline(np.linspace(0, 1, 10))
+        ranks = [glyphs.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_custom_bounds(self):
+        # With hi anchored at 100, a low series stays near the bottom.
+        line = sparkline([1, 2, 1], lo=0, hi=100)
+        assert set(line) <= {" ", "."}
+
+
+class TestRenderers:
+    def test_series_row_contains_endpoints(self):
+        row = render_series("mask", [1, 2, 3], [0.5, 0.52, 0.54])
+        assert "mask" in row
+        assert "50.0%" in row and "54.0%" in row
+
+    def test_series_empty(self):
+        assert "(empty)" in render_series("x", [], [])
+
+    def test_histogram_line(self):
+        line = render_histogram(np.ones(32) * 5)
+        assert len(line) == 32
+
+    def test_cdf_panel(self):
+        xs = np.arange(11)
+        panel = render_cdf_panel(
+            {
+                "VS": (xs, np.linspace(0, 100, 11)),
+                "VS_RFD": (xs, np.linspace(0, 80, 11)),
+            }
+        )
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert "VS" in lines[0]
+        assert "top  80.0%" in lines[1]

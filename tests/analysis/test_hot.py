@@ -1,0 +1,62 @@
+"""Tests for the WP toy benchmark and the hot-function study plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hot import (
+    WARP_SITE_PREFIX,
+    make_wp_workload,
+    run_hot_function_study,
+    wp_transform,
+)
+from repro.runtime.context import ExecutionContext
+from repro.summarize.config import VSConfig
+from repro.video.synthetic import make_input2
+
+
+class TestWPWorkload:
+    def test_transform_is_perspective(self):
+        mat = wp_transform((72, 96))
+        assert mat.shape == (3, 3)
+        assert mat[2, 0] != 0.0 or mat[2, 1] != 0.0  # genuine projective part
+
+    def test_workload_runs(self, textured_image):
+        workload = make_wp_workload(
+            textured_image.copy(), wp_transform(textured_image.shape), (240, 320)
+        )
+        ctx = ExecutionContext()
+        out = workload(ctx)
+        assert out.shape == (240, 320)
+        assert np.count_nonzero(out) > 0
+        assert ctx.cycles > 0
+
+    def test_workload_deterministic(self, textured_image):
+        workload = make_wp_workload(
+            textured_image.copy(), wp_transform(textured_image.shape), (240, 320)
+        )
+        first = workload(ExecutionContext())
+        second = workload(ExecutionContext())
+        assert np.array_equal(first, second)
+
+
+class TestHotFunctionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        stream = make_input2(n_frames=10)
+        return run_hot_function_study(stream, VSConfig(), n_injections=40, seed=5)
+
+    def test_both_sides_ran(self, study):
+        assert study.vs_campaign.counts.total == 40
+        assert study.wp_campaign.counts.total == 40
+
+    def test_in_study_filtering(self, study):
+        # Only runs whose flip hit a warp-owned register count.
+        assert study.vs_counts.total <= 40
+        assert study.wp_counts.total <= 40
+        for result in study.vs_campaign.results:
+            if result.record.fired and result.record.in_study:
+                assert result.record.site.startswith(WARP_SITE_PREFIX)
+
+    def test_masking_gain_defined(self, study):
+        gain = study.masking_gain()
+        assert -1.0 <= gain <= 1.0

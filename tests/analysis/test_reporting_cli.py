@@ -1,0 +1,99 @@
+"""Tests for result serialization and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    campaign_to_dict,
+    counts_to_dict,
+    load_json,
+    markdown_table,
+    save_json,
+)
+from repro.cli import build_parser, main
+from repro.faultinject.outcomes import CrashKind, Outcome, OutcomeCounts
+
+
+class TestReporting:
+    def test_counts_roundtrip_fields(self):
+        counts = OutcomeCounts(masked=5, sdc=1, crash_segv=3, crash_abort=1, hang=0)
+        payload = counts_to_dict(counts)
+        assert payload["total"] == 10
+        assert payload["rates"]["crash"] == pytest.approx(0.4)
+
+    def test_save_and_load(self, tmp_path):
+        path = save_json(tmp_path / "sub" / "result.json", {"a": 1, "b": [1, 2]})
+        assert path.exists()
+        assert load_json(path) == {"a": 1, "b": [1, 2]}
+
+    def test_campaign_serialization(self, tmp_path):
+        from repro.faultinject.campaign import CampaignConfig, run_campaign
+        from repro.faultinject.registers import RegKind
+        from tests.faultinject.test_monitor_campaign import toy_workload
+        from repro.runtime.context import ExecutionContext
+
+        ctx = ExecutionContext()
+        output = toy_workload(ctx)
+        campaign = run_campaign(
+            toy_workload,
+            output,
+            ctx.cycles,
+            CampaignConfig(n_injections=10, kind=RegKind.GPR, seed=1),
+        )
+        payload = campaign_to_dict(campaign)
+        assert payload["n_injections"] == 10
+        assert len(payload["records"]) == 10
+        # Must be valid JSON end to end.
+        json.dumps(payload)
+
+    def test_markdown_table(self):
+        table = markdown_table(["name", "value"], [["a", 1.23456], ["b", 2]])
+        lines = table.splitlines()
+        assert lines[0] == "| name | value |"
+        assert "1.235" in lines[2]
+        assert len(lines) == 4
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summarize_command(self, tmp_path, capsys):
+        out = tmp_path / "pano.pgm"
+        code = main(["summarize", "--input", "input2", "--frames", "8", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "stitched=" in capsys.readouterr().out
+
+    def test_campaign_command(self, tmp_path, capsys):
+        record = tmp_path / "campaign.json"
+        code = main(
+            [
+                "campaign",
+                "--input",
+                "input2",
+                "--frames",
+                "8",
+                "-n",
+                "6",
+                "--out",
+                str(record),
+            ]
+        )
+        assert code == 0
+        payload = load_json(record)
+        assert payload["n_injections"] == 6
+        assert "mask" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        code = main(["experiment", "fig08", "--scale", "tiny"])
+        assert code == 0
+        assert "fig08" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,89 @@
+"""Tests for moving-object detection by registered differencing."""
+
+import numpy as np
+import pytest
+
+from repro.events.detection import detect_moving_objects
+from repro.imaging.geometry import identity, translation
+
+
+@pytest.fixture()
+def static_scene(rng):
+    return (60 + 140 * rng.random((72, 96))).astype(np.uint8)
+
+
+def with_blob(scene, x, y, size=6, tone=250):
+    frame = scene.copy()
+    frame[y : y + size, x : x + size] = tone
+    return frame
+
+
+class TestStaticCamera:
+    def test_moving_blob_detected(self, ctx, static_scene):
+        prev = with_blob(static_scene, 20, 30)
+        cur = with_blob(static_scene, 30, 30)
+        detections = detect_moving_objects(cur, prev, identity(), ctx)
+        assert detections
+        best = detections[0]
+        # The strongest blob sits where the object appeared (or left).
+        assert abs(best.x - 33) < 8 or abs(best.x - 23) < 8
+
+    def test_no_motion_no_detections(self, ctx, static_scene):
+        detections = detect_moving_objects(
+            static_scene, static_scene.copy(), identity(), ctx
+        )
+        assert detections == []
+
+    def test_min_area_filters_specks(self, ctx, static_scene):
+        prev = static_scene.copy()
+        cur = static_scene.copy()
+        cur[10, 10] = 255 if cur[10, 10] < 128 else 0  # single-pixel change
+        detections = detect_moving_objects(cur, prev, identity(), ctx, min_area=4)
+        assert detections == []
+
+
+class TestMovingCamera:
+    def test_camera_motion_alone_is_masked_by_registration(self, ctx, static_scene):
+        """A translating camera must not produce phantom detections."""
+        shift = 6
+        cur = static_scene[:, shift:].copy()
+        prev = static_scene[:, :-shift].copy()
+        # prev-frame coords -> cur-frame coords: shift left by `shift`.
+        detections = detect_moving_objects(
+            cur, prev, translation(-shift, 0), ctx, diff_threshold=80
+        )
+        assert len(detections) <= 1  # at most border noise
+
+    def test_object_found_despite_camera_motion(self, ctx, static_scene):
+        shift = 6
+        base_prev = static_scene[:, :-shift]
+        base_cur = static_scene[:, shift:]
+        prev = with_blob(base_prev.copy(), 40, 30)
+        cur = with_blob(base_cur.copy(), 52, 30)  # moved right by 12+shift
+        detections = detect_moving_objects(
+            cur, prev, translation(-shift, 0), ctx, diff_threshold=80
+        )
+        assert detections
+
+
+class TestDetectionProperties:
+    def test_bbox_contains_centroid(self, ctx, static_scene):
+        prev = with_blob(static_scene, 20, 30)
+        cur = with_blob(static_scene, 32, 30)
+        for det in detect_moving_objects(cur, prev, identity(), ctx):
+            x0, y0, x1, y1 = det.bbox
+            assert x0 <= det.x <= x1
+            assert y0 <= det.y <= y1
+            assert det.area > 0
+
+    def test_max_detections_cap(self, ctx, static_scene):
+        prev = static_scene.copy()
+        cur = static_scene.copy()
+        gen = np.random.default_rng(0)
+        for _ in range(30):
+            x, y = int(gen.integers(0, 88)), int(gen.integers(0, 64))
+            cur[y : y + 4, x : x + 4] = 255
+        detections = detect_moving_objects(
+            cur, prev, identity(), ctx, max_detections=5
+        )
+        assert len(detections) <= 5

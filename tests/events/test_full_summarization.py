@@ -1,0 +1,87 @@
+"""Integration tests: the complete Fig. 2 workflow with planted movers."""
+
+import numpy as np
+import pytest
+
+from repro.events import overlay_tracks, run_full_summarization
+from repro.events.tracking import Track, TrackPoint
+from repro.runtime.context import ExecutionContext
+from repro.summarize import baseline_config
+from repro.video import make_event_input
+
+
+@pytest.fixture(scope="module")
+def summary():
+    event_input = make_event_input(n_frames=24, n_objects=2)
+    return (
+        event_input,
+        run_full_summarization(event_input.stream, baseline_config(), ExecutionContext()),
+    )
+
+
+class TestFullWorkflow:
+    def test_coverage_branch_healthy(self, summary):
+        _event_input, result = summary
+        assert result.coverage.frames_stitched >= 16
+
+    def test_movers_detected(self, summary):
+        _event_input, result = summary
+        total = sum(len(d) for d in result.detections_per_frame.values())
+        assert total >= 10
+
+    def test_tracks_confirmed(self, summary):
+        event_input, result = summary
+        assert result.num_tracks >= len(event_input.objects) - 1
+        for track in result.tracks:
+            assert track.confirmed
+            assert len(track.points) >= 2
+
+    def test_tracks_move_consistently(self, summary):
+        """Confirmed tracks of linear movers have consistent velocity."""
+        _event_input, result = summary
+        long_tracks = [t for t in result.tracks if len(t.points) >= 6]
+        assert long_tracks
+        for track in long_tracks:
+            xs = np.array([p.x for p in track.points])
+            frames = np.array([p.frame_index for p in track.points])
+            # Fit a line; residuals should be small for linear motion.
+            coeffs = np.polyfit(frames, xs, 1)
+            residuals = xs - np.polyval(coeffs, frames)
+            assert np.abs(residuals).max() < 8.0
+
+    def test_overlay_changes_panorama(self, summary):
+        _event_input, result = summary
+        assert result.overlay is not None
+        assert result.overlay.shape == result.coverage.panorama.shape
+        assert not np.array_equal(result.overlay, result.coverage.panorama)
+
+    def test_deterministic(self):
+        event_input = make_event_input(n_frames=12, n_objects=2)
+        first = run_full_summarization(
+            event_input.stream, baseline_config(), ExecutionContext()
+        )
+        second = run_full_summarization(
+            event_input.stream, baseline_config(), ExecutionContext()
+        )
+        assert np.array_equal(first.overlay, second.overlay)
+        assert first.num_tracks == second.num_tracks
+
+
+class TestOverlay:
+    def test_draws_confirmed_tracks_only(self, ctx):
+        panorama = np.full((60, 80), 100, dtype=np.uint8)
+        confirmed = Track(track_id=0, mini_index=0, confirmed=True)
+        confirmed.points = [TrackPoint(0, 10.0, 10.0), TrackPoint(1, 40.0, 40.0)]
+        tentative = Track(track_id=1, mini_index=0, confirmed=False)
+        tentative.points = [TrackPoint(0, 60.0, 10.0), TrackPoint(1, 70.0, 20.0)]
+        out = overlay_tracks(panorama, [confirmed, tentative], ctx)
+        assert out[10, 10] == 255  # confirmed polyline drawn
+        assert out[10, 60] == 100  # tentative track untouched
+
+    def test_mini_offset_applied(self, ctx):
+        panorama = np.full((120, 80), 100, dtype=np.uint8)  # two stacked 60-row minis
+        track = Track(track_id=0, mini_index=1, confirmed=True)
+        track.points = [TrackPoint(0, 10.0, 10.0), TrackPoint(1, 30.0, 10.0)]
+        out = overlay_tracks(panorama, [track], ctx, mini_canvas_h=60)
+        assert out[70, 20] == 255  # drawn in the second mini's band
+        assert out[10, 20] == 100

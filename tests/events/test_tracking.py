@@ -1,0 +1,86 @@
+"""Tests for the nearest-neighbour tracker."""
+
+import pytest
+
+from repro.events.tracking import NearestNeighbourTracker, Track, TrackPoint
+from repro.runtime.context import ExecutionContext
+
+
+@pytest.fixture()
+def tracker():
+    return NearestNeighbourTracker(gate_distance=15.0, confirm_after=2, drop_after_misses=2)
+
+
+def feed(tracker, ctx, trajectory, mini_index=0):
+    """Feed a list of per-frame detection lists."""
+    for frame_index, detections in enumerate(trajectory):
+        tracker.update(detections, frame_index, mini_index, ctx)
+
+
+class TestSingleObject:
+    def test_continuous_motion_forms_one_track(self, tracker, ctx):
+        feed(tracker, ctx, [[(10.0 + 3 * i, 20.0)] for i in range(8)])
+        tracks = tracker.finish()
+        assert len(tracks) == 1
+        assert len(tracks[0].points) == 8
+
+    def test_track_confirmed_after_hits(self, tracker, ctx):
+        feed(tracker, ctx, [[(10.0, 10.0)], [(12.0, 10.0)]])
+        assert tracker.active[0].confirmed
+
+    def test_single_sighting_never_confirmed(self, tracker, ctx):
+        feed(tracker, ctx, [[(10.0, 10.0)], [], [], []])
+        assert tracker.finish() == []
+
+    def test_prediction_bridges_a_missed_frame(self, tracker, ctx):
+        trajectory = [[(10.0 + 4 * i, 20.0)] for i in range(4)]
+        trajectory += [[]]  # detector missed one frame
+        trajectory += [[(10.0 + 4 * 5, 20.0)]]
+        feed(tracker, ctx, trajectory)
+        tracks = tracker.finish()
+        assert len(tracks) == 1
+        assert len(tracks[0].points) == 5
+
+
+class TestMultipleObjects:
+    def test_two_separated_objects_two_tracks(self, tracker, ctx):
+        trajectory = [
+            [(10.0 + 2 * i, 10.0), (80.0 - 2 * i, 60.0)] for i in range(6)
+        ]
+        feed(tracker, ctx, trajectory)
+        assert len(tracker.finish()) == 2
+
+    def test_objects_in_different_minis_do_not_merge(self, tracker, ctx):
+        for frame in range(4):
+            tracker.update([(10.0 + frame, 10.0)], frame, mini_index=0, ctx=ctx)
+        for frame in range(4, 8):
+            tracker.update([(13.0 + frame, 10.0)], frame, mini_index=1, ctx=ctx)
+        tracks = tracker.finish()
+        minis = sorted(t.mini_index for t in tracks)
+        assert minis == [0, 1]
+
+
+class TestTrackLifecycle:
+    def test_lost_track_retired(self, tracker, ctx):
+        trajectory = [[(10.0, 10.0)], [(12.0, 10.0)], [], [], [], []]
+        feed(tracker, ctx, trajectory)
+        assert tracker.active == [] or all(t.misses == 0 for t in tracker.active)
+        tracks = tracker.finished
+        assert len(tracks) == 1
+
+    def test_velocity_estimate(self):
+        track = Track(track_id=0, mini_index=0)
+        track.points = [TrackPoint(0, 0.0, 0.0), TrackPoint(1, 3.0, 4.0)]
+        assert track.velocity() == (3.0, 4.0)
+        assert track.predict(3) == (9.0, 12.0)
+
+    def test_velocity_single_point(self):
+        track = Track(track_id=0, mini_index=0)
+        track.points = [TrackPoint(0, 5.0, 5.0)]
+        assert track.velocity() == (0.0, 0.0)
+        assert track.predict(4) == (5.0, 5.0)
+
+    def test_track_ids_unique(self, tracker, ctx):
+        feed(tracker, ctx, [[(10.0, 10.0), (60.0, 60.0)], [(10.0, 10.0), (60.0, 60.0)]])
+        ids = [t.track_id for t in tracker.active]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,136 @@
+"""Tests for the fault injector and injection plans."""
+
+import numpy as np
+import pytest
+
+from repro.faultinject.injector import CensusProbe, FaultInjector, InjectionPlan, random_plan
+from repro.faultinject.registers import FlipEffect, LivenessModel, RegKind, Role
+from repro.runtime.context import Cell, ExecutionContext
+
+
+def run_kernel(ctx: ExecutionContext, cells: dict[str, Cell], site="kern.loop", steps=10):
+    """A tiny instrumented kernel: binds cells at 10 checkpoints."""
+    for _ in range(steps):
+        ctx.tick(100)
+        window = ctx.window(site)
+        if window is not None:
+            for name, cell in cells.items():
+                window.gpr_cell(name, cell, role=Role.DATA)
+            ctx.checkpoint(window)
+
+
+class TestInjectionPlan:
+    def test_validates_register(self):
+        with pytest.raises(ValueError):
+            InjectionPlan(0, RegKind.GPR, register=32, bit=0)
+
+    def test_validates_bit(self):
+        with pytest.raises(ValueError):
+            InjectionPlan(0, RegKind.GPR, register=0, bit=64)
+
+    def test_validates_cycle(self):
+        with pytest.raises(ValueError):
+            InjectionPlan(-1, RegKind.GPR, register=0, bit=0)
+
+    def test_random_plan_in_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            plan = random_plan(rng, 10_000, RegKind.FPR)
+            assert 0 <= plan.target_cycle < 10_000
+            assert 0 <= plan.register < 32
+            assert 0 <= plan.bit < 64
+            assert plan.kind is RegKind.FPR
+
+    def test_random_plan_rejects_empty_run(self):
+        with pytest.raises(ValueError):
+            random_plan(np.random.default_rng(0), 0, RegKind.GPR)
+
+
+class TestFiring:
+    def test_fires_at_first_checkpoint_after_target(self):
+        plan = InjectionPlan(target_cycle=450, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan)
+        ctx = ExecutionContext(injector=injector)
+        cell = Cell(100)
+        run_kernel(ctx, {"x": cell})
+        assert injector.record.fired
+        assert injector.record.fired_cycle == 500  # first checkpoint >= 450
+
+    def test_flips_the_bound_cell(self):
+        plan = InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=3)
+        injector = FaultInjector(plan)
+        ctx = ExecutionContext(injector=injector)
+        cell = Cell(0)
+        run_kernel(ctx, {"x": cell})
+        assert cell.value == 8
+        assert injector.record.effect is FlipEffect.APPLIED
+        assert injector.record.binding_name == "x"
+
+    def test_empty_slot_is_dead(self):
+        plan = InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=31, bit=0)
+        injector = FaultInjector(plan)
+        ctx = ExecutionContext(injector=injector)
+        cell = Cell(0)
+        run_kernel(ctx, {"x": cell})  # only slot 0 gets written
+        assert injector.record.effect is FlipEffect.DEAD_EMPTY
+        assert cell.value == 0
+
+    def test_stale_slot_is_dead(self):
+        plan = InjectionPlan(target_cycle=5_000, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan, liveness=LivenessModel(gpr_data_ttl=50))
+        ctx = ExecutionContext(injector=injector)
+        early = Cell(7)
+        run_kernel(ctx, {"x": early}, steps=5)  # bindings end at cycle 500
+        # A later kernel binds a different name into a different slot.
+        run_kernel(ctx, {"y": Cell(1)}, site="kern.other", steps=50)
+        assert injector.record.fired
+        assert injector.record.effect is FlipEffect.DEAD_STALE
+        assert early.value == 7
+
+    def test_stops_observing_after_fire(self):
+        plan = InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan)
+        ctx = ExecutionContext(injector=injector)
+        run_kernel(ctx, {"x": Cell(0)})
+        assert not injector.observing
+        assert ctx.window("kern.loop") is None
+
+    def test_never_fires_when_target_beyond_run(self):
+        plan = InjectionPlan(target_cycle=10**9, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan)
+        ctx = ExecutionContext(injector=injector)
+        run_kernel(ctx, {"x": Cell(0)})
+        assert not injector.record.fired
+
+
+class TestSiteFilter:
+    def test_waits_for_matching_site(self):
+        plan = InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan, site_filter="target")
+        ctx = ExecutionContext(injector=injector)
+        run_kernel(ctx, {"x": Cell(0)}, site="other.site", steps=3)
+        assert not injector.record.fired
+        run_kernel(ctx, {"x": Cell(0)}, site="target.site", steps=1)
+        assert injector.record.fired
+        assert injector.record.site == "target.site"
+
+    def test_in_study_requires_matching_binding(self):
+        plan = InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=0)
+        injector = FaultInjector(plan, site_filter="target")
+        ctx = ExecutionContext(injector=injector)
+        # Slot 0 is owned by the other site's binding.
+        run_kernel(ctx, {"other_name": Cell(0)}, site="other.site", steps=3)
+        run_kernel(ctx, {"target_name": Cell(0)}, site="target.site", steps=1)
+        assert injector.record.fired
+        # Slot 0 holds other.site's value -> excluded from the study.
+        assert not injector.record.in_study
+
+
+class TestCensusProbe:
+    def test_collects_occupancy(self):
+        probe = CensusProbe()
+        ctx = ExecutionContext(injector=probe)
+        run_kernel(ctx, {"a": Cell(0), "b": Cell(1)})
+        assert probe.census.samples == 10
+        assert probe.census.live_slots_total > 0
+        assert probe.census.live_fraction(RegKind.GPR) > 0

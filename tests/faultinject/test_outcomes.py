@@ -1,0 +1,111 @@
+"""Tests for outcome classification and campaign statistics."""
+
+import numpy as np
+import pytest
+
+from repro.faultinject.outcomes import (
+    CrashKind,
+    Outcome,
+    OutcomeCounts,
+    RunningRates,
+    classify_exception,
+    wilson_interval,
+)
+from repro.runtime.errors import HangDetected, InternalAbortError, SegmentationFault
+
+
+class TestClassification:
+    def test_segfault(self):
+        outcome, kind = classify_exception(SegmentationFault(0x100))
+        assert outcome is Outcome.CRASH and kind is CrashKind.SEGV
+
+    def test_index_error_is_segv(self):
+        outcome, kind = classify_exception(IndexError("list index out of range"))
+        assert outcome is Outcome.CRASH and kind is CrashKind.SEGV
+
+    def test_abort(self):
+        outcome, kind = classify_exception(InternalAbortError("assert"))
+        assert outcome is Outcome.CRASH and kind is CrashKind.ABORT
+
+    @pytest.mark.parametrize(
+        "exc",
+        [ValueError("x"), ZeroDivisionError(), OverflowError(), np.linalg.LinAlgError("s")],
+    )
+    def test_builtin_traps_are_aborts(self, exc):
+        outcome, kind = classify_exception(exc)
+        assert outcome is Outcome.CRASH and kind is CrashKind.ABORT
+
+    def test_hang(self):
+        outcome, kind = classify_exception(HangDetected(10, 5))
+        assert outcome is Outcome.HANG and kind is None
+
+    def test_unknown_exception_reraised(self):
+        with pytest.raises(RuntimeError):
+            classify_exception(RuntimeError("a genuine library bug"))
+
+
+class TestOutcomeCounts:
+    def test_add_and_rates(self):
+        counts = OutcomeCounts()
+        for _ in range(6):
+            counts.add(Outcome.MASKED)
+        counts.add(Outcome.SDC)
+        counts.add(Outcome.CRASH, CrashKind.SEGV)
+        counts.add(Outcome.CRASH, CrashKind.ABORT)
+        counts.add(Outcome.HANG)
+        assert counts.total == 10
+        assert counts.rate(Outcome.MASKED) == pytest.approx(0.6)
+        assert counts.rate(Outcome.CRASH) == pytest.approx(0.2)
+        assert counts.crash_segv == 1 and counts.crash_abort == 1
+
+    def test_rates_sum_to_one(self):
+        counts = OutcomeCounts(masked=5, sdc=3, crash_segv=2, hang=1)
+        assert sum(counts.rates().values()) == pytest.approx(1.0)
+
+    def test_empty_counts(self):
+        counts = OutcomeCounts()
+        assert counts.total == 0
+        assert counts.rate(Outcome.SDC) == 0.0
+        assert counts.segv_fraction_of_crashes() == 0.0
+
+    def test_segv_fraction(self):
+        counts = OutcomeCounts(crash_segv=9, crash_abort=1)
+        assert counts.segv_fraction_of_crashes() == pytest.approx(0.9)
+
+
+class TestWilson:
+    def test_symmetric_at_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert (0.5 - lo) == pytest.approx(hi - 0.5, abs=1e-9)
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(10, 40)
+        assert lo < 0.25 < hi
+
+    def test_zero_total(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_samples(self):
+        lo_small, hi_small = wilson_interval(5, 10)
+        lo_big, hi_big = wilson_interval(500, 1000)
+        assert (hi_big - lo_big) < (hi_small - lo_small)
+
+    def test_bounds_clamped(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+
+
+class TestRunningRates:
+    def test_records_trajectory(self):
+        counts = OutcomeCounts()
+        running = RunningRates()
+        counts.add(Outcome.MASKED)
+        running.record(counts)
+        counts.add(Outcome.SDC)
+        running.record(counts)
+        xs, ys = running.series(Outcome.SDC)
+        assert list(xs) == [1, 2]
+        assert ys[0] == 0.0 and ys[1] == pytest.approx(0.5)

@@ -1,0 +1,215 @@
+"""Tests for the architectural register-file model and bindings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faultinject.addrspace import AddressSpace
+from repro.faultinject.registers import (
+    NUM_REGISTERS,
+    ArrayBinding,
+    FlipEffect,
+    LivenessModel,
+    RegisterFileState,
+    RegisterWindow,
+    RegKind,
+    Role,
+    flip_bit64,
+    flip_float64_bit,
+)
+from repro.runtime.context import Cell
+from repro.runtime.errors import SegmentationFault
+
+bits = st.integers(min_value=0, max_value=63)
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestBitFlips:
+    @given(int64s, bits)
+    def test_flip_is_involution(self, value, bit):
+        assert flip_bit64(flip_bit64(value, bit), bit) == value
+
+    @given(int64s, bits)
+    def test_flip_changes_value(self, value, bit):
+        assert flip_bit64(value, bit) != value
+
+    def test_flip_bit_zero(self):
+        assert flip_bit64(0, 0) == 1
+        assert flip_bit64(1, 0) == 0
+
+    def test_flip_sign_bit(self):
+        assert flip_bit64(0, 63) == -(2**63)
+
+    def test_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit64(0, 64)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), bits)
+    def test_float_flip_is_involution(self, value, bit):
+        once = flip_float64_bit(value, bit)
+        twice = flip_float64_bit(once, bit)
+        assert twice == value or (np.isnan(twice) and np.isnan(value))
+
+    def test_float_mantissa_flip_is_small(self):
+        assert abs(flip_float64_bit(1.0, 0) - 1.0) < 1e-12
+
+    def test_float_exponent_flip_is_large(self):
+        assert abs(flip_float64_bit(1.0, 62)) > 1e100
+
+
+class TestBindingFlips:
+    def _flip(self, binding, bit, seed=0):
+        return binding.flip(bit, np.random.default_rng(seed), AddressSpace(seed=0))
+
+    def test_cell_binding_updates_cell(self):
+        cell = Cell(4)
+        window = RegisterWindow("t")
+        window.gpr_cell("x", cell)
+        effect = self._flip(window.bindings[0], 0)
+        assert effect is FlipEffect.APPLIED
+        assert cell.value == 5
+
+    def test_value_binding_calls_apply(self):
+        seen = []
+        window = RegisterWindow("t")
+        window.gpr_value("v", 8, apply=seen.append)
+        self._flip(window.bindings[0], 1)
+        assert seen == [10]
+
+    def test_u8_array_flip_in_place(self):
+        arr = np.zeros(16, dtype=np.uint8)
+        window = RegisterWindow("t")
+        window.gpr_array("a", arr)
+        effect = self._flip(window.bindings[0], 3)
+        assert effect is FlipEffect.APPLIED
+        assert arr.sum() == 8
+
+    def test_u8_array_high_bit_truncated(self):
+        arr = np.zeros(16, dtype=np.uint8)
+        window = RegisterWindow("t")
+        window.gpr_array("a", arr)
+        effect = self._flip(window.bindings[0], 20)
+        assert effect is FlipEffect.TRUNCATED
+        assert arr.sum() == 0
+
+    def test_float_array_flip(self):
+        arr = np.ones(8, dtype=np.float64)
+        window = RegisterWindow("t")
+        window.fpr_array("f", arr)
+        effect = self._flip(window.bindings[0], 62)
+        assert effect is FlipEffect.APPLIED
+        assert np.abs(arr).max() > 1e100
+
+    def test_fpr_array_rejects_ints(self):
+        window = RegisterWindow("t")
+        with pytest.raises(TypeError):
+            window.fpr_array("bad", np.zeros(4, dtype=np.int64))
+
+    def test_gpr_array_rejects_floats(self):
+        window = RegisterWindow("t")
+        with pytest.raises(TypeError):
+            window.gpr_array("bad", np.zeros(4, dtype=np.float64))
+
+    def test_empty_array_rejected(self):
+        window = RegisterWindow("t")
+        with pytest.raises(ValueError):
+            window.gpr_array("bad", np.zeros(0, dtype=np.uint8))
+
+    def test_read_only_array_rejected(self):
+        arr = np.zeros(4, dtype=np.uint8)
+        arr.setflags(write=False)
+        window = RegisterWindow("t")
+        with pytest.raises(ValueError):
+            window.gpr_array("bad", arr)
+
+
+class TestAddressBinding:
+    def test_high_bit_flip_segfaults(self):
+        space = AddressSpace(seed=1)
+        arr = np.zeros(64, dtype=np.uint8)
+        window = RegisterWindow("t")
+        window.gpr_address("p", arr)
+        with pytest.raises(SegmentationFault):
+            window.bindings[0].flip(60, np.random.default_rng(0), space)
+
+    def test_low_bit_flip_aliases_within_allocation(self):
+        space = AddressSpace(seed=2)
+        arr = np.arange(128, dtype=np.uint8)
+        window = RegisterWindow("t")
+        window.gpr_address("p", arr, window=16)
+        effect = window.bindings[0].flip(4, np.random.default_rng(0), space)
+        assert effect is FlipEffect.APPLIED
+        # The wrong-read model copies bytes from base^16 over the start.
+        assert np.array_equal(arr[:16], np.arange(16, 32, dtype=np.uint8))
+
+    def test_write_pointer_smash(self):
+        space = AddressSpace(seed=3)
+        arr = np.zeros(4096 * 2, dtype=np.uint8)
+        window = RegisterWindow("t")
+        window.gpr_address("p", arr, writes=True, window=16)
+        # An in-page flip stays inside the allocation and smashes it.
+        effect = window.bindings[0].flip(6, np.random.default_rng(0), space)
+        assert effect is FlipEffect.APPLIED
+        assert np.count_nonzero(arr) > 0  # pattern smashed into the alias
+
+    def test_on_alias_callback(self):
+        space = AddressSpace(seed=4)
+        arr = (np.arange(4096 * 2) % 256).astype(np.uint8)
+        seen = []
+        window = RegisterWindow("t")
+        window.gpr_address("p", arr, window=8, on_alias=lambda view, off: seen.append(off))
+        window.bindings[0].flip(6, np.random.default_rng(0), space)
+        assert len(seen) == 1
+
+
+class TestRegisterFileState:
+    def test_round_robin_assignment(self):
+        state = RegisterFileState()
+        window = RegisterWindow("site")
+        for i in range(3):
+            window.gpr_cell(f"name{i}", Cell(i))
+        slots = [state.write(b, "site", cycle=0) for b in window.bindings]
+        assert slots == [0, 1, 2]
+
+    def test_same_name_same_slot(self):
+        state = RegisterFileState()
+        window = RegisterWindow("site")
+        window.gpr_cell("x", Cell(0))
+        first = state.write(window.bindings[0], "site", cycle=0)
+        second = state.write(window.bindings[0], "site", cycle=10)
+        assert first == second
+
+    def test_wraps_after_32_names(self):
+        state = RegisterFileState()
+        window = RegisterWindow("site")
+        for i in range(NUM_REGISTERS + 1):
+            window.gpr_cell(f"n{i}", Cell(i))
+        slots = [state.write(b, "site", cycle=0) for b in window.bindings]
+        assert slots[NUM_REGISTERS] == 0  # wrapped
+
+    def test_kinds_have_separate_slots(self):
+        state = RegisterFileState()
+        window = RegisterWindow("site")
+        window.gpr_cell("g", Cell(0))
+        window.fpr_array("f", np.ones(2))
+        gpr_slot = state.write(window.bindings[0], "site", cycle=0)
+        fpr_slot = state.write(window.bindings[1], "site", cycle=0)
+        assert gpr_slot == 0 and fpr_slot == 0
+        assert state.entry(RegKind.GPR, 0).binding.name == "g"
+        assert state.entry(RegKind.FPR, 0).binding.name == "f"
+
+    def test_entry_empty_slot(self):
+        assert RegisterFileState().entry(RegKind.GPR, 5) is None
+
+
+class TestLivenessModel:
+    def test_role_defaults(self):
+        model = LivenessModel()
+        assert model.ttl_for(RegKind.GPR, Role.ADDRESS) > model.ttl_for(RegKind.GPR, Role.DATA)
+        assert model.ttl_for(RegKind.FPR, Role.DATA) < model.ttl_for(RegKind.GPR, Role.DATA)
+
+    def test_binding_ttl_override(self):
+        window = RegisterWindow("t")
+        window.gpr_cell("x", Cell(0), ttl=123)
+        assert window.bindings[0].effective_ttl(LivenessModel()) == 123

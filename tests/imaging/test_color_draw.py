@@ -1,0 +1,76 @@
+"""Tests for color conversion and the primitive rasterizers."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.color import gray_to_rgb, rgb_to_gray
+from repro.imaging.draw import draw_line, fill_disk, fill_rect
+from repro.runtime.context import ExecutionContext
+
+
+class TestColor:
+    def test_gray_to_rgb_replicates(self):
+        gray = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        rgb = gray_to_rgb(gray)
+        assert rgb.shape == (2, 3, 3)
+        for channel in range(3):
+            assert np.array_equal(rgb[:, :, channel], gray)
+
+    def test_rgb_to_gray_weights(self):
+        pure_red = np.zeros((1, 1, 3), dtype=np.uint8)
+        pure_red[0, 0, 0] = 255
+        assert rgb_to_gray(pure_red)[0, 0] == pytest.approx(76, abs=1)
+
+    def test_roundtrip_on_gray_content(self):
+        gray = np.arange(0, 250, 10, dtype=np.uint8).reshape(5, 5)
+        assert np.array_equal(rgb_to_gray(gray_to_rgb(gray)), gray)
+
+    def test_charges_cycles(self):
+        ctx = ExecutionContext()
+        rgb_to_gray(np.zeros((4, 4, 3), dtype=np.uint8), ctx=ctx)
+        assert ctx.cycles > 0
+
+
+class TestFillRect:
+    def test_fills_interior(self):
+        field = np.zeros((10, 10))
+        fill_rect(field, 2, 3, 4, 5, 9.0)
+        assert np.all(field[3:8, 2:6] == 9.0)
+        assert field[2, 2] == 0.0
+
+    def test_clips_at_borders(self):
+        field = np.zeros((5, 5))
+        fill_rect(field, -2, -2, 4, 4, 1.0)
+        assert np.all(field[:2, :2] == 1.0)
+        assert field[3, 3] == 0.0
+
+    def test_fully_outside_is_noop(self):
+        field = np.zeros((5, 5))
+        fill_rect(field, 10, 10, 3, 3, 1.0)
+        assert np.all(field == 0.0)
+
+
+class TestFillDisk:
+    def test_center_filled(self):
+        field = np.zeros((11, 11))
+        fill_disk(field, 5, 5, 3, 2.0)
+        assert field[5, 5] == 2.0
+        assert field[0, 0] == 0.0
+
+    def test_radius_respected(self):
+        field = np.zeros((11, 11))
+        fill_disk(field, 5, 5, 2, 1.0)
+        assert field[5, 7] == 1.0
+        assert field[5, 8] == 0.0
+
+
+class TestDrawLine:
+    def test_horizontal_line(self):
+        field = np.zeros((5, 20))
+        draw_line(field, 0, 2, 19, 2, 1.0)
+        assert np.all(field[2, :] == 1.0)
+
+    def test_thickness(self):
+        field = np.zeros((9, 9))
+        draw_line(field, 0, 4, 8, 4, 1.0, thickness=3)
+        assert np.all(field[3:6, 1:8] == 1.0)

@@ -1,0 +1,88 @@
+"""Tests for blur filters, gradients and the Harris response."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import (
+    box_blur,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    harris_response,
+    sobel_gradients,
+)
+from repro.runtime.context import CostProfile, ExecutionContext
+
+
+class TestGaussianKernel:
+    def test_normalized(self):
+        assert gaussian_kernel_1d(1.5).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel_1d(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_radius_override(self):
+        assert len(gaussian_kernel_1d(1.0, radius=4)) == 9
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_1d(0.0)
+
+
+class TestGaussianBlur:
+    def test_preserves_shape_and_dtype(self):
+        img = np.random.default_rng(0).integers(0, 256, (20, 30)).astype(np.uint8)
+        out = gaussian_blur(img)
+        assert out.shape == img.shape
+        assert out.dtype == np.uint8
+
+    def test_constant_image_unchanged(self):
+        img = np.full((10, 10), 77, dtype=np.uint8)
+        assert np.all(gaussian_blur(img) == 77)
+
+    def test_reduces_variance(self):
+        img = np.random.default_rng(1).integers(0, 256, (40, 40)).astype(np.uint8)
+        blurred = gaussian_blur(img, sigma=2.0)
+        assert blurred.astype(float).var() < img.astype(float).var()
+
+    def test_charges_cycles(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        ctx = ExecutionContext(profile=CostProfile())
+        gaussian_blur(img, ctx=ctx)
+        assert ctx.cycles > 0
+        assert any("blur" in scope for scope in ctx.profile.by_scope())
+
+
+class TestBoxBlur:
+    def test_preserves_constant(self):
+        img = np.full((8, 8), 100, dtype=np.uint8)
+        assert np.all(box_blur(img, radius=2) == 100)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            box_blur(np.zeros((5, 5), dtype=np.uint8), radius=0)
+
+
+class TestSobel:
+    def test_flat_image_zero_gradient(self):
+        gx, gy = sobel_gradients(np.full((10, 10), 50, dtype=np.uint8))
+        assert np.allclose(gx, 0) and np.allclose(gy, 0)
+
+    def test_vertical_edge_has_x_gradient(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        img[:, 5:] = 200
+        gx, gy = sobel_gradients(img)
+        assert np.abs(gx).max() > 100
+        assert np.abs(gy[2:-2, 2:-2]).max() == 0
+
+
+class TestHarris:
+    def test_corner_scores_higher_than_edge(self):
+        img = np.zeros((30, 30), dtype=np.uint8)
+        img[10:, 10:] = 200  # one strong corner at (10, 10)
+        response = harris_response(img)
+        corner_score = response[10, 10]
+        edge_score = response[20, 10]  # along the vertical edge
+        flat_score = response[3, 3]
+        assert corner_score > edge_score
+        assert corner_score > flat_score

@@ -1,0 +1,133 @@
+"""Tests for homogeneous 2-D geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.imaging.geometry import (
+    apply_transform,
+    identity,
+    invert_transform,
+    is_affine,
+    normalize_homography,
+    project_corners,
+    projected_bounds,
+    rotation,
+    scaling,
+    translation,
+    validate_homography,
+)
+from repro.runtime.errors import DegenerateModelError
+
+finite_offsets = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestConstructors:
+    def test_identity_maps_points_unchanged(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(apply_transform(identity(), pts), pts)
+
+    @given(finite_offsets, finite_offsets)
+    def test_translation_moves_origin(self, tx, ty):
+        mapped = apply_transform(translation(tx, ty), np.array([[0.0, 0.0]]))
+        assert np.allclose(mapped, [[tx, ty]])
+
+    def test_scaling_isotropic_default(self):
+        mapped = apply_transform(scaling(2.0), np.array([[3.0, 4.0]]))
+        assert np.allclose(mapped, [[6.0, 8.0]])
+
+    def test_rotation_quarter_turn(self):
+        mapped = apply_transform(rotation(np.pi / 2), np.array([[1.0, 0.0]]))
+        assert np.allclose(mapped, [[0.0, 1.0]], atol=1e-12)
+
+    def test_rotation_about_center_fixes_center(self):
+        center = (5.0, -2.0)
+        mapped = apply_transform(rotation(1.0, center), np.array([center]))
+        assert np.allclose(mapped, [center], atol=1e-12)
+
+
+class TestComposition:
+    @given(finite_offsets, finite_offsets, st.floats(min_value=-3, max_value=3))
+    def test_invert_roundtrip(self, tx, ty, angle):
+        mat = translation(tx, ty) @ rotation(angle)
+        pts = np.array([[1.0, 2.0], [-4.0, 0.5], [10.0, -10.0]])
+        roundtrip = apply_transform(invert_transform(mat), apply_transform(mat, pts))
+        assert np.allclose(roundtrip, pts, atol=1e-8)
+
+    def test_composition_order(self):
+        mat = translation(10, 0) @ scaling(2.0)  # scale first, then translate
+        mapped = apply_transform(mat, np.array([[1.0, 1.0]]))
+        assert np.allclose(mapped, [[12.0, 2.0]])
+
+
+class TestValidation:
+    def test_normalize_scales_pivot(self):
+        mat = 3.0 * identity()
+        assert np.allclose(normalize_homography(mat), identity())
+
+    def test_normalize_rejects_zero_pivot(self):
+        mat = identity()
+        mat[2, 2] = 0.0
+        with pytest.raises(DegenerateModelError):
+            normalize_homography(mat)
+
+    def test_validate_rejects_nan(self):
+        mat = identity()
+        mat[0, 1] = np.nan
+        with pytest.raises(DegenerateModelError):
+            validate_homography(mat)
+
+    def test_validate_rejects_rank_deficient(self):
+        mat = identity()
+        mat[1, 1] = 0.0
+        mat[1, 0] = 0.0
+        mat[0, 1] = 0.0
+        mat[0, 0] = 0.0
+        with pytest.raises(DegenerateModelError):
+            validate_homography(mat)
+
+    def test_validate_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            validate_homography(np.eye(2))
+
+    def test_invert_rejects_singular(self):
+        mat = np.zeros((3, 3))
+        mat[2, 2] = 1.0
+        with pytest.raises(DegenerateModelError):
+            invert_transform(mat)
+
+
+class TestApplyTransform:
+    def test_rejects_bad_point_shape(self):
+        with pytest.raises(ValueError):
+            apply_transform(identity(), np.zeros((2, 3)))
+
+    def test_point_at_infinity(self):
+        mat = identity()
+        mat[2, 0] = 1.0
+        mat[2, 2] = 0.0
+        with pytest.raises(DegenerateModelError):
+            apply_transform(mat, np.array([[0.0, 0.0]]))
+
+    def test_perspective_division(self):
+        mat = identity()
+        mat[2, 0] = 0.01
+        mapped = apply_transform(mat, np.array([[100.0, 50.0]]))
+        assert np.allclose(mapped, [[50.0, 25.0]])
+
+
+class TestProjection:
+    def test_project_corners_identity(self):
+        corners = project_corners(identity(), width=10, height=6)
+        assert np.allclose(corners, [[0, 0], [9, 0], [9, 5], [0, 5]])
+
+    def test_projected_bounds_translation(self):
+        bounds = projected_bounds(translation(5, 7), width=10, height=6)
+        assert bounds == pytest.approx((5.0, 7.0, 14.0, 12.0))
+
+    def test_is_affine(self):
+        assert is_affine(translation(1, 2) @ rotation(0.3))
+        perspective = identity()
+        perspective[2, 0] = 0.01
+        assert not is_affine(perspective)

@@ -1,0 +1,120 @@
+"""Tests for image containers and the saturating cast."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imaging.image import (
+    as_color,
+    as_gray,
+    blank,
+    image_shape,
+    images_equal,
+    saturate_cast_u8,
+)
+
+
+class TestSaturateCast:
+    def test_clamps_high(self):
+        assert saturate_cast_u8(300.0) == 255
+
+    def test_clamps_low(self):
+        assert saturate_cast_u8(-5.0) == 0
+
+    def test_rounds_half_up(self):
+        assert saturate_cast_u8(10.5) == 11
+        assert saturate_cast_u8(10.4) == 10
+
+    def test_nan_becomes_zero(self):
+        assert saturate_cast_u8(float("nan")) == 0
+
+    def test_infinities(self):
+        assert saturate_cast_u8(float("inf")) == 255
+        assert saturate_cast_u8(float("-inf")) == 0
+
+    def test_array_shape_preserved(self):
+        arr = np.linspace(-50, 310, 24).reshape(4, 6)
+        out = saturate_cast_u8(arr)
+        assert out.shape == (4, 6)
+        assert out.dtype == np.uint8
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(max_dims=2, max_side=16),
+            elements=st.floats(allow_nan=True, allow_infinity=True, width=64),
+        )
+    )
+    def test_always_in_range(self, arr):
+        out = saturate_cast_u8(arr)
+        assert out.dtype == np.uint8
+        assert out.min() >= 0 and out.max() <= 255
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_identity_on_u8_range(self, value):
+        assert saturate_cast_u8(float(value)) == value
+
+
+class TestValidators:
+    def test_as_gray_accepts(self):
+        img = np.zeros((4, 5), dtype=np.uint8)
+        assert as_gray(img) is img
+
+    def test_as_gray_rejects_color(self):
+        with pytest.raises(ValueError, match="grayscale"):
+            as_gray(np.zeros((4, 5, 3), dtype=np.uint8))
+
+    def test_as_gray_rejects_float(self):
+        with pytest.raises(ValueError, match="uint8"):
+            as_gray(np.zeros((4, 5), dtype=np.float64))
+
+    def test_as_color_accepts(self):
+        img = np.zeros((4, 5, 3), dtype=np.uint8)
+        assert as_color(img) is img
+
+    def test_as_color_rejects_gray(self):
+        with pytest.raises(ValueError, match="color"):
+            as_color(np.zeros((4, 5), dtype=np.uint8))
+
+
+class TestBlank:
+    def test_gray_shape(self):
+        assert blank(3, 7).shape == (3, 7)
+
+    def test_color_shape(self):
+        assert blank(3, 7, channels=3).shape == (3, 7, 3)
+
+    def test_fill_value(self):
+        assert np.all(blank(2, 2, fill=9) == 9)
+
+    @pytest.mark.parametrize("h,w", [(0, 5), (5, 0), (-1, 5)])
+    def test_rejects_bad_dims(self, h, w):
+        with pytest.raises(ValueError):
+            blank(h, w)
+
+
+class TestShapeAndEquality:
+    def test_image_shape(self):
+        assert image_shape(np.zeros((8, 9), dtype=np.uint8)) == (8, 9)
+        assert image_shape(np.zeros((8, 9, 3), dtype=np.uint8)) == (8, 9)
+
+    def test_image_shape_rejects_vector(self):
+        with pytest.raises(ValueError):
+            image_shape(np.zeros(5, dtype=np.uint8))
+
+    def test_equal_images(self):
+        a = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        assert images_equal(a, a.copy())
+
+    def test_single_pixel_difference_detected(self):
+        a = np.zeros((3, 4), dtype=np.uint8)
+        b = a.copy()
+        b[1, 2] = 1
+        assert not images_equal(a, b)
+
+    def test_shape_mismatch_is_unequal(self):
+        assert not images_equal(
+            np.zeros((3, 4), dtype=np.uint8), np.zeros((4, 3), dtype=np.uint8)
+        )

@@ -1,0 +1,75 @@
+"""Tests for netpbm and npz image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.io import (
+    load_frames_npz,
+    load_pgm,
+    load_ppm,
+    save_frames_npz,
+    save_pgm,
+    save_ppm,
+)
+
+
+@pytest.fixture()
+def gray_image(rng):
+    return rng.integers(0, 256, (17, 23)).astype(np.uint8)
+
+
+@pytest.fixture()
+def color_image(rng):
+    return rng.integers(0, 256, (9, 11, 3)).astype(np.uint8)
+
+
+class TestPGM:
+    def test_roundtrip(self, tmp_path, gray_image):
+        path = tmp_path / "img.pgm"
+        save_pgm(path, gray_image)
+        assert np.array_equal(load_pgm(path), gray_image)
+
+    def test_header_format(self, tmp_path, gray_image):
+        path = tmp_path / "img.pgm"
+        save_pgm(path, gray_image)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n23 17\n255\n")
+
+    def test_rejects_color(self, tmp_path, color_image):
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", color_image)
+
+    def test_load_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ValueError):
+            load_pgm(path)
+
+    def test_load_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_bytes(b"P5\n10 10\n255\n\x00\x01")
+        with pytest.raises(ValueError, match="truncated"):
+            load_pgm(path)
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x0a\x0b")
+        assert np.array_equal(load_pgm(path), np.array([[10, 11]], dtype=np.uint8))
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path, color_image):
+        path = tmp_path / "img.ppm"
+        save_ppm(path, color_image)
+        assert np.array_equal(load_ppm(path), color_image)
+
+
+class TestNPZ:
+    def test_roundtrip_preserves_order(self, tmp_path, rng):
+        frames = [rng.integers(0, 256, (5, 7)).astype(np.uint8) for _ in range(12)]
+        path = tmp_path / "frames.npz"
+        save_frames_npz(path, frames)
+        loaded = load_frames_npz(path)
+        assert len(loaded) == 12
+        for original, restored in zip(frames, loaded):
+            assert np.array_equal(original, restored)

@@ -1,0 +1,90 @@
+"""Designed-corruption tests for the warp kernel's failure semantics.
+
+These emulate specific register flips via custom checkpoint probes and
+assert the *designed* outcome class, pinning the fault model's contract
+(see docs/fault_model.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import translation
+from repro.imaging.image import blank
+from repro.imaging.warp import warp_into
+from repro.runtime.context import ExecutionContext
+from repro.runtime.errors import SegmentationFault
+
+
+class CellCorruptor:
+    """Fires once: overwrites a named bound cell at the first checkpoint."""
+
+    def __init__(self, name, value, site_prefix="imaging.warp"):
+        self.name = name
+        self.value = value
+        self.site_prefix = site_prefix
+        self.fired = False
+
+    @property
+    def observing(self):
+        return not self.fired
+
+    def visit(self, ctx, window):
+        if not window.site.startswith(self.site_prefix):
+            return
+        for binding in window.bindings:
+            if binding.name == self.name and hasattr(binding, "cell"):
+                binding.cell.value = self.value
+                self.fired = True
+                return
+
+
+def run_warp(injector):
+    src = (np.arange(30 * 40) % 251).astype(np.uint8).reshape(30, 40)
+    canvas = blank(60, 70)
+    coverage = blank(60, 70)
+    ctx = ExecutionContext(injector=injector, watchdog_cycles=10**9)
+    warp_into(canvas, coverage, src, translation(10, 10), ctx)
+    return canvas, coverage
+
+
+def golden_warp():
+    class Nothing:
+        observing = False
+
+        def visit(self, ctx, window):  # pragma: no cover
+            raise AssertionError
+
+    return run_warp(Nothing())
+
+
+class TestControlCorruption:
+    def test_negative_row_segfaults(self):
+        with pytest.raises(SegmentationFault):
+            run_warp(CellCorruptor("row_ctr", -5))
+
+    def test_huge_row_end_segfaults(self):
+        """An inflated loop bound runs the stores off the canvas."""
+        with pytest.raises(SegmentationFault):
+            run_warp(CellCorruptor("row_end", 1 << 40))
+
+    def test_backward_row_jump_masks(self):
+        """Re-doing rows rewrites identical pixels: masked."""
+        golden, _ = golden_warp()
+        corrupted, _ = run_warp(CellCorruptor("row_ctr", 10))
+        # The loop restarts from row 10 and re-warps; same final image.
+        assert np.array_equal(golden, corrupted)
+
+    def test_shortened_row_end_truncates_output(self):
+        golden, _ = golden_warp()
+        corrupted, coverage = run_warp(CellCorruptor("row_end", 20))
+        assert not np.array_equal(golden, corrupted)
+        assert np.count_nonzero(coverage[25:, :]) == 0
+
+    def test_column_window_escape_segfaults(self):
+        with pytest.raises(SegmentationFault):
+            run_warp(CellCorruptor("col_hi", 10_000))
+
+    def test_column_shrink_corrupts_silently(self):
+        golden, _ = golden_warp()
+        corrupted, _ = run_warp(CellCorruptor("col_hi", 30))
+        assert not np.array_equal(golden, corrupted)

@@ -1,0 +1,87 @@
+"""End-to-end determinism and cross-component consistency checks."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.energy import estimate_from_profile
+from repro.perfmodel.profile import execution_profile
+from repro.quality import compare_outputs
+from repro.runtime.context import CostProfile, ExecutionContext
+from repro.summarize import (
+    baseline_config,
+    golden_run,
+    kds_config,
+    rfd_config,
+    run_vs,
+    sm_config,
+)
+
+
+class TestDeterminism:
+    def test_golden_outputs_bitwise_stable(self, tiny_stream1):
+        outputs = []
+        for _ in range(3):
+            ctx = ExecutionContext()
+            outputs.append(run_vs(tiny_stream1, baseline_config(), ctx).panorama)
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[1], outputs[2])
+
+    def test_cycle_counts_stable(self, tiny_stream1):
+        cycles = []
+        for _ in range(2):
+            ctx = ExecutionContext()
+            run_vs(tiny_stream1, baseline_config(), ctx)
+            cycles.append(ctx.cycles)
+        assert cycles[0] == cycles[1]
+
+    def test_profile_and_plain_context_agree(self, tiny_stream1):
+        plain = ExecutionContext()
+        run_vs(tiny_stream1, baseline_config(), plain)
+        profiled = ExecutionContext(profile=CostProfile())
+        run_vs(tiny_stream1, baseline_config(), profiled)
+        assert plain.cycles == profiled.cycles
+
+    @pytest.mark.parametrize("factory", [rfd_config, kds_config, sm_config])
+    def test_approximations_deterministic(self, tiny_stream1, factory):
+        first = run_vs(tiny_stream1, factory(), ExecutionContext()).panorama
+        second = run_vs(tiny_stream1, factory(), ExecutionContext()).panorama
+        assert np.array_equal(first, second)
+
+
+class TestCrossComponentConsistency:
+    def test_energy_model_consumes_pipeline_profile(self, tiny_stream2):
+        golden = golden_run(tiny_stream2, baseline_config())
+        estimate = estimate_from_profile(golden.profile)
+        assert estimate.cycles == golden.total_cycles
+        assert 1.0 < estimate.ipc < 2.0
+
+    def test_profile_buckets_cover_all_cycles(self, tiny_stream2):
+        golden = golden_run(tiny_stream2, baseline_config())
+        lines = execution_profile(golden.profile)
+        assert sum(line.cycles for line in lines) == golden.total_cycles
+
+    def test_quality_metric_on_real_outputs(self, tiny_stream1):
+        base = golden_run(tiny_stream1, baseline_config())
+        approx = golden_run(tiny_stream1, sm_config())
+        quality = compare_outputs(base.output, approx.output)
+        assert np.isfinite(quality.relative_l2_norm) or quality.egregious
+
+    def test_approximations_actually_differ_from_baseline(self, tiny_stream1):
+        base = golden_run(tiny_stream1, baseline_config())
+        rfd = golden_run(tiny_stream1, rfd_config(drop_fraction=0.2))
+        # RFD removes frames, so the runs cannot be byte-identical
+        # unless the dropped frames were all discarded anyway.
+        assert (
+            rfd.result.frames_stitched + rfd.result.frames_discarded
+            < base.result.frames_stitched + base.result.frames_discarded
+        )
+
+
+class TestWatchdogIntegration:
+    def test_tight_watchdog_hangs_pipeline(self, tiny_stream1):
+        from repro.runtime.errors import HangDetected
+
+        golden = golden_run(tiny_stream1, baseline_config())
+        ctx = ExecutionContext(watchdog_cycles=golden.total_cycles // 4)
+        with pytest.raises(HangDetected):
+            run_vs(tiny_stream1, baseline_config(), ctx)

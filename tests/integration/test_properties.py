@@ -1,0 +1,112 @@
+"""Cross-module property-based tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.geometry import apply_transform, rotation, scaling, translation
+from repro.imaging.image import saturate_cast_u8
+from repro.imaging.warp import warp_perspective
+from repro.quality.metrics import egregiousness_degree, relative_l2_norm
+from repro.runtime.context import ExecutionContext
+from repro.vision.affine import estimate_affine
+from repro.vision.homography import estimate_homography
+
+transform_params = st.tuples(
+    st.floats(min_value=-20, max_value=20),  # tx
+    st.floats(min_value=-20, max_value=20),  # ty
+    st.floats(min_value=-0.5, max_value=0.5),  # angle
+    st.floats(min_value=0.7, max_value=1.4),  # scale
+)
+
+
+@st.composite
+def planted_transforms(draw):
+    tx, ty, angle, scale = draw(transform_params)
+    return translation(tx, ty) @ rotation(angle) @ scaling(scale)
+
+
+class TestEstimationRoundTrips:
+    @given(planted_transforms())
+    @settings(max_examples=30, deadline=None)
+    def test_homography_recovers_similarity(self, mat):
+        rng = np.random.default_rng(0)
+        src = rng.uniform(0, 100, (16, 2))
+        dst = apply_transform(mat, src)
+        estimated = estimate_homography(src, dst)
+        assert np.allclose(estimated, mat / mat[2, 2], atol=1e-5)
+
+    @given(planted_transforms())
+    @settings(max_examples=30, deadline=None)
+    def test_affine_recovers_similarity(self, mat):
+        rng = np.random.default_rng(1)
+        src = rng.uniform(0, 100, (12, 2))
+        dst = apply_transform(mat, src)
+        estimated = estimate_affine(src, dst)
+        assert np.allclose(estimated, mat, atol=1e-6)
+
+
+class TestWarpProperties:
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_integer_translation_is_lossless(self, tx, ty):
+        tx, ty = round(tx), round(ty)
+        rng = np.random.default_rng(2)
+        img = rng.integers(0, 256, (30, 40)).astype(np.uint8)
+        ctx = ExecutionContext()
+        out = warp_perspective(img, translation(tx, ty), (60, 70), ctx)
+        y0, x0 = max(0, ty), max(0, tx)
+        src_y0, src_x0 = max(0, -ty), max(0, -tx)
+        copied_h = min(30 - src_y0, 60 - y0)
+        copied_w = min(40 - src_x0, 70 - x0)
+        if copied_h > 0 and copied_w > 0:
+            assert np.array_equal(
+                out[y0 : y0 + copied_h, x0 : x0 + copied_w],
+                img[src_y0 : src_y0 + copied_h, src_x0 : src_x0 + copied_w],
+            )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_warp_output_is_valid_image(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, (20, 25)).astype(np.uint8)
+        mat = translation(rng.uniform(-5, 5), rng.uniform(-5, 5)) @ rotation(
+            rng.uniform(-0.4, 0.4)
+        )
+        ctx = ExecutionContext()
+        out = warp_perspective(img, mat, (40, 50), ctx)
+        assert out.dtype == np.uint8
+        assert out.shape == (40, 50)
+
+
+class TestQualityMetricProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rel_l2_nonnegative_and_zero_on_self(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 256, (10, 10)).astype(np.uint8)
+        assert relative_l2_norm(img, img) == 0.0
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_rel_l2_symmetric_in_diff(self, seed):
+        """Corrupting more pixels never decreases the metric."""
+        rng = np.random.default_rng(seed)
+        golden = rng.integers(60, 196, (12, 12)).astype(np.uint8)
+        one = golden.copy()
+        one[0, 0] = saturate_cast_u8(float(golden[0, 0]) + 200.0)
+        many = one.copy()
+        many[5:9, 5:9] = 255 - many[5:9, 5:9] // 2 + 100  # will clip
+        many = saturate_cast_u8(many.astype(float))
+        assert relative_l2_norm(golden, many) >= relative_l2_norm(golden, one) - 1e-9
+
+    @given(st.floats(min_value=0, max_value=300))
+    def test_ed_consistent_with_limit(self, value):
+        ed = egregiousness_degree(value)
+        if value > 100.0:
+            assert ed is None
+        else:
+            assert ed == int(np.floor(value))

@@ -1,0 +1,102 @@
+"""Tests for the cost model, IPC/energy estimates and profile reporting."""
+
+import pytest
+
+from repro.perfmodel.cost import KERNEL_CYCLES, InstructionMix, kernel_cost, mix_for_scope
+from repro.perfmodel.energy import estimate_from_profile
+from repro.perfmodel.profile import (
+    bucket_for_scope,
+    execution_profile,
+    hot_function_fraction,
+    library_fraction,
+)
+from repro.runtime.context import CostProfile
+
+
+class TestCostTable:
+    def test_all_costs_positive(self):
+        assert all(cost > 0 for cost in KERNEL_CYCLES.values())
+
+    def test_kernel_cost_lookup(self):
+        assert kernel_cost("warp.px") == KERNEL_CYCLES["warp.px"]
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            kernel_cost("nonexistent.kernel")
+
+    def test_matching_is_per_pair(self):
+        # The KDS lever: matching must be charged per descriptor pair.
+        assert "match.pair" in KERNEL_CYCLES
+
+
+class TestInstructionMix:
+    def test_fractions_validated(self):
+        with pytest.raises(ValueError):
+            InstructionMix(0.5, 0.5, 0.5, 0.5, ipc=1.0)
+
+    def test_longest_prefix_wins(self):
+        warp_mix = mix_for_scope("imaging.warp.warp_perspective_invoker")
+        generic = mix_for_scope("imaging.io.something")
+        assert warp_mix.fp_ops > generic.fp_ops
+
+    def test_unknown_scope_gets_toplevel(self):
+        assert mix_for_scope("completely.unknown") == mix_for_scope("<toplevel>")
+
+
+class TestEnergyEstimate:
+    def _profile(self):
+        profile = CostProfile()
+        profile.charge("imaging.warp.warp_perspective_invoker", 600_000)
+        profile.charge("vision.matching.hamming", 300_000)
+        profile.charge("summarize.pipeline.frame", 100_000)
+        return profile
+
+    def test_basic_quantities(self):
+        estimate = estimate_from_profile(self._profile())
+        assert estimate.cycles == 1_000_000
+        assert 1.0 < estimate.ipc < 2.0
+        assert estimate.time_s > 0
+        assert estimate.energy_j == pytest.approx(estimate.power_w * estimate.time_s)
+
+    def test_normalization(self):
+        estimate = estimate_from_profile(self._profile())
+        normalized = estimate.normalized_to(estimate)
+        assert normalized == {"ipc": 1.0, "time": 1.0, "energy": 1.0}
+
+    def test_half_workload_half_energy(self):
+        full = estimate_from_profile(self._profile())
+        half_profile = CostProfile()
+        for scope, cycles in self._profile().by_scope().items():
+            half_profile.charge(scope, cycles // 2)
+        half = estimate_from_profile(half_profile)
+        assert half.normalized_to(full)["time"] == pytest.approx(0.5)
+        assert half.normalized_to(full)["energy"] == pytest.approx(0.5, abs=0.01)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_from_profile(CostProfile())
+
+
+class TestProfileReport:
+    def test_bucket_mapping(self):
+        name, is_lib = bucket_for_scope("imaging.warp.warp_perspective_invoker")
+        assert name == "warpPerspectiveInvoker" and is_lib
+        name, is_lib = bucket_for_scope("summarize.pipeline.frame")
+        assert not is_lib
+
+    def test_fractions_sum_to_one(self):
+        profile = CostProfile()
+        profile.charge("imaging.warp.warp_perspective_invoker", 500)
+        profile.charge("vision.fast.detect", 300)
+        profile.charge("summarize.pipeline.frame", 200)
+        lines = execution_profile(profile)
+        assert sum(line.fraction for line in lines) == pytest.approx(1.0)
+        assert lines[0].bucket == "warpPerspectiveInvoker"  # sorted by cycles
+
+    def test_hot_and_library_fractions(self):
+        profile = CostProfile()
+        profile.charge("imaging.warp.warp_perspective_invoker", 500)
+        profile.charge("imaging.warp.remap_bilinear", 100)
+        profile.charge("summarize.pipeline.frame", 400)
+        assert hot_function_fraction(profile) == pytest.approx(0.6)
+        assert library_fraction(profile) == pytest.approx(0.6)

@@ -1,0 +1,151 @@
+"""Tests for symptom coverage and selective protection planning."""
+
+import pytest
+
+from repro.faultinject.campaign import CampaignConfig, CampaignResult
+from repro.faultinject.injector import InjectionPlan, InjectionRecord
+from repro.faultinject.monitor import InjectionResult
+from repro.faultinject.outcomes import CrashKind, Outcome, OutcomeCounts, RunningRates
+from repro.faultinject.registers import RegKind
+from repro.protection import (
+    classify_sites,
+    full_duplication_overhead,
+    plan_protection,
+    symptom_coverage,
+)
+from repro.quality.metrics import SDCQuality
+from repro.runtime.context import CostProfile
+
+import numpy as np
+
+
+def make_result(outcome, site="imaging.warp.row_block", crash_kind=None):
+    plan = InjectionPlan(0, RegKind.GPR, 0, 0)
+    record = InjectionRecord(plan, fired=True, site=site)
+    return InjectionResult(plan=plan, record=record, outcome=outcome, crash_kind=crash_kind)
+
+
+def make_campaign(results):
+    counts = OutcomeCounts()
+    for result in results:
+        counts.add(result.outcome, result.crash_kind)
+    return CampaignResult(
+        config=CampaignConfig(n_injections=len(results), kind=RegKind.GPR),
+        counts=counts,
+        running=RunningRates(),
+        results=results,
+        register_histogram=np.zeros(32, dtype=np.int64),
+        bit_histogram=np.zeros(64, dtype=np.int64),
+    )
+
+
+@pytest.fixture()
+def mixed_campaign():
+    results = (
+        [make_result(Outcome.MASKED)] * 10
+        + [make_result(Outcome.CRASH, crash_kind=CrashKind.SEGV)] * 5
+        + [make_result(Outcome.HANG)]
+        + [make_result(Outcome.SDC, site="imaging.warp.store")] * 4
+    )
+    return make_campaign(results)
+
+
+class TestSymptomCoverage:
+    def test_partition(self, mixed_campaign):
+        coverage = symptom_coverage(mixed_campaign)
+        assert coverage.benign == 10
+        assert coverage.symptomatic == 6
+        assert coverage.silent == 4
+        assert coverage.total_injections == 20
+
+    def test_detector_coverage(self, mixed_campaign):
+        coverage = symptom_coverage(mixed_campaign)
+        assert coverage.detector_coverage == pytest.approx(0.6)
+
+    def test_silent_fraction(self, mixed_campaign):
+        assert symptom_coverage(mixed_campaign).silent_fraction == pytest.approx(0.2)
+
+    def test_all_masked(self):
+        campaign = make_campaign([make_result(Outcome.MASKED)] * 5)
+        coverage = symptom_coverage(campaign)
+        assert coverage.detector_coverage == 1.0
+        assert coverage.silent_fraction == 0.0
+
+
+class TestClassification:
+    def _qualities(self, campaign, eds):
+        """Assign EDs to the SDC results in order."""
+        qualities = {}
+        ed_iter = iter(eds)
+        for index, result in enumerate(campaign.results):
+            if result.outcome is Outcome.SDC:
+                ed = next(ed_iter)
+                qualities[index] = SDCQuality(
+                    relative_l2_norm=float(ed) if ed is not None else 200.0,
+                    egregious_degree=ed,
+                )
+        return qualities
+
+    def test_tolerance_splits_sdcs(self, mixed_campaign):
+        qualities = self._qualities(mixed_campaign, [2, 8, 30, None])
+        classification = classify_sites(mixed_campaign, qualities, ed_tolerance=10)
+        assert classification.tolerable_sdc == 2
+        assert classification.critical_sdc == 2
+        assert classification.tolerable_fraction == pytest.approx(0.5)
+
+    def test_zero_tolerance_protects_all_sdcs(self, mixed_campaign):
+        qualities = self._qualities(mixed_campaign, [2, 8, 30, 60])
+        classification = classify_sites(mixed_campaign, qualities, ed_tolerance=0)
+        assert classification.critical_sdc == 4
+
+    def test_unassessed_sdcs_conservative(self, mixed_campaign):
+        classification = classify_sites(mixed_campaign, {}, ed_tolerance=10)
+        assert classification.critical_sdc == 4
+
+    def test_totals_cover_campaign(self, mixed_campaign):
+        qualities = self._qualities(mixed_campaign, [1, 1, 1, 1])
+        classification = classify_sites(mixed_campaign, qualities, ed_tolerance=10)
+        assert classification.total == 20
+
+
+class TestPlanning:
+    def _profile(self):
+        profile = CostProfile()
+        profile.charge("imaging.warp.warp_perspective_invoker", 500)
+        profile.charge("vision.matching.hamming", 300)
+        profile.charge("summarize.pipeline.frame", 200)
+        return profile
+
+    def test_no_critical_sdcs_cheap_plan(self, mixed_campaign):
+        qualities = {
+            index: SDCQuality(relative_l2_norm=1.0, egregious_degree=1)
+            for index, result in enumerate(mixed_campaign.results)
+            if result.outcome is Outcome.SDC
+        }
+        plan = plan_protection(mixed_campaign, qualities, self._profile(), ed_tolerance=10)
+        assert plan.protected_scopes == {}
+        assert plan.runtime_overhead < 0.01
+        assert plan.runtime_overhead < full_duplication_overhead()
+
+    def test_critical_sdcs_protect_their_region(self, mixed_campaign):
+        qualities = {
+            index: SDCQuality(relative_l2_norm=90.0, egregious_degree=90)
+            for index, result in enumerate(mixed_campaign.results)
+            if result.outcome is Outcome.SDC
+        }
+        plan = plan_protection(mixed_campaign, qualities, self._profile(), ed_tolerance=10)
+        # The critical SDCs came from imaging.warp sites: the warp scope
+        # is duplicated, matching and the app code are not.
+        assert any(scope.startswith("imaging") for scope in plan.protected_scopes)
+        assert plan.runtime_overhead < full_duplication_overhead()
+        assert plan.runtime_overhead == pytest.approx(0.005 + 0.5, abs=1e-6)
+
+    def test_overhead_scales_with_tolerance(self, mixed_campaign):
+        qualities = {
+            index: SDCQuality(relative_l2_norm=15.0, egregious_degree=15)
+            for index, result in enumerate(mixed_campaign.results)
+            if result.outcome is Outcome.SDC
+        }
+        strict = plan_protection(mixed_campaign, qualities, self._profile(), ed_tolerance=5)
+        lenient = plan_protection(mixed_campaign, qualities, self._profile(), ed_tolerance=20)
+        assert strict.runtime_overhead >= lenient.runtime_overhead

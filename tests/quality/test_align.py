@@ -1,0 +1,88 @@
+"""Tests for the corrective alignment before image comparison."""
+
+import numpy as np
+import pytest
+
+from repro.quality.align import (
+    align_for_comparison,
+    best_translation,
+    gain_correct,
+    pad_to_common,
+)
+from repro.quality.metrics import relative_l2_norm
+
+
+@pytest.fixture()
+def scene(rng):
+    img = (rng.random((60, 80)) * 120 + 60).astype(np.uint8)
+    img[20:40, 30:60] = 230
+    img[5:12, 5:20] = 15
+    return img
+
+
+class TestPadding:
+    def test_common_shape(self):
+        a = np.ones((4, 9), dtype=np.uint8)
+        b = np.ones((7, 5), dtype=np.uint8)
+        pa, pb = pad_to_common(a, b)
+        assert pa.shape == pb.shape == (7, 9)
+
+    def test_content_anchored_top_left(self):
+        a = np.full((2, 2), 9, dtype=np.uint8)
+        pa, _pb = pad_to_common(a, np.zeros((4, 4), dtype=np.uint8))
+        assert np.all(pa[:2, :2] == 9)
+        assert np.all(pa[2:, :] == 0)
+
+
+class TestGainCorrection:
+    def test_removes_global_gain(self, scene):
+        brighter = np.clip(scene.astype(float) * 1.3, 0, 255).astype(np.uint8)
+        corrected = gain_correct(scene, brighter)
+        assert abs(float(corrected.mean()) - float(scene.mean())) < 8.0
+
+    def test_identity_when_equal(self, scene):
+        corrected = gain_correct(scene, scene.copy())
+        assert np.array_equal(corrected, scene)
+
+    def test_blank_faulty_untouched(self, scene):
+        blank = np.zeros_like(scene)
+        assert np.array_equal(gain_correct(scene, blank), blank)
+
+
+class TestTranslationSearch:
+    def test_finds_planted_shift(self, scene):
+        shifted = np.zeros_like(scene)
+        shifted[6:, 9:] = scene[:-6, :-9]
+        dy, dx = best_translation(scene, shifted)
+        assert (dy, dx) == (-6, -9)
+
+    def test_zero_shift_for_identical(self, scene):
+        assert best_translation(scene, scene.copy()) == (0, 0)
+
+
+class TestFullAlignment:
+    def test_shifted_image_scores_near_zero(self, scene):
+        shifted = np.zeros_like(scene)
+        shifted[4:, 8:] = scene[:-4, :-8]
+        golden_aligned, faulty_aligned = align_for_comparison(scene, shifted)
+        # After alignment the deviation is only the border sliver.
+        assert relative_l2_norm(golden_aligned, faulty_aligned) < 30.0
+
+    def test_unaligned_comparison_would_be_large(self, scene):
+        shifted = np.zeros_like(scene)
+        shifted[4:, 8:] = scene[:-4, :-8]
+        raw = relative_l2_norm(scene, shifted)
+        golden_aligned, faulty_aligned = align_for_comparison(scene, shifted)
+        aligned = relative_l2_norm(golden_aligned, faulty_aligned)
+        assert aligned < raw
+
+    def test_different_shapes_handled(self, scene):
+        taller = np.vstack([scene, scene[:10]])
+        golden_aligned, faulty_aligned = align_for_comparison(scene, taller)
+        assert golden_aligned.shape == faulty_aligned.shape
+
+    def test_genuine_corruption_not_hidden(self, scene):
+        corrupted = scene.copy()
+        corrupted[10:30, 10:30] = 255 - corrupted[10:30, 10:30]
+        golden_aligned, faulty_aligned = align_for_comparison(scene, corrupted)
+        assert relative_l2_norm(golden_aligned, faulty_aligned) > 5.0

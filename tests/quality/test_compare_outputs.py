@@ -1,0 +1,57 @@
+"""Tests for the top-level compare_outputs entry point."""
+
+import numpy as np
+import pytest
+
+from repro.quality import compare_outputs
+
+
+@pytest.fixture()
+def panorama(rng):
+    img = (70 + 110 * rng.random((90, 120))).astype(np.uint8)
+    img[30:60, 40:90] = 220
+    return img
+
+
+class TestCompareOutputs:
+    def test_identical_outputs_are_perfect(self, panorama):
+        quality = compare_outputs(panorama, panorama.copy())
+        assert quality.relative_l2_norm == 0.0
+        assert quality.egregious_degree == 0
+
+    def test_shape_mismatch_handled(self, panorama):
+        taller = np.vstack([panorama, np.zeros((30, 120), dtype=np.uint8)])
+        quality = compare_outputs(panorama, taller)
+        # The extra blank band is below the 128 threshold against the
+        # zero padding, so the outputs still compare as near-identical.
+        assert quality.relative_l2_norm < 5.0
+
+    def test_extra_content_detected(self, panorama):
+        extra = np.vstack([panorama, np.full((30, 120), 200, dtype=np.uint8)])
+        quality = compare_outputs(panorama, extra)
+        assert quality.relative_l2_norm > 5.0
+
+    def test_global_shift_mostly_forgiven(self, panorama):
+        shifted = np.zeros_like(panorama)
+        shifted[5:, 7:] = panorama[:-5, :-7]
+        raw_quality = compare_outputs(panorama, shifted)
+        blackout = np.zeros_like(panorama)
+        blackout_quality = compare_outputs(panorama, blackout)
+        # The aligner forgives the shift far more than a real blackout.
+        assert raw_quality.relative_l2_norm < blackout_quality.relative_l2_norm * 0.7
+
+    def test_localized_corruption_scored(self, panorama):
+        corrupted = panorama.copy()
+        corrupted[10:25, 10:40] = 0  # blacked-out block: diffs above 128
+        quality = compare_outputs(panorama, corrupted)
+        assert 0.0 < quality.relative_l2_norm
+        assert not quality.egregious
+
+    def test_monotone_in_corruption_extent(self, panorama):
+        small = panorama.copy()
+        small[:6, :6] = 255 - small[:6, :6]
+        big = panorama.copy()
+        big[:45, :60] = 255 - big[:45, :60]
+        small_quality = compare_outputs(panorama, small)
+        big_quality = compare_outputs(panorama, big)
+        assert big_quality.relative_l2_norm >= small_quality.relative_l2_norm

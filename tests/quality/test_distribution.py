@@ -1,0 +1,46 @@
+"""Tests for ED distribution curves (Fig. 12 machinery)."""
+
+import pytest
+
+from repro.quality.distribution import build_curve
+from repro.quality.metrics import SDCQuality
+
+
+def quality(ed):
+    if ed is None:
+        return SDCQuality(relative_l2_norm=150.0, egregious_degree=None)
+    return SDCQuality(relative_l2_norm=float(ed) + 0.5, egregious_degree=ed)
+
+
+class TestEDCurve:
+    def test_cdf_monotone(self):
+        curve = build_curve("t", [quality(e) for e in (1, 5, 5, 9, 30)])
+        xs, ys = curve.curve(max_ed=40)
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert ys[-1] == pytest.approx(100.0)
+
+    def test_fraction_at_or_below(self):
+        curve = build_curve("t", [quality(e) for e in (2, 4, 6, 8)])
+        assert curve.fraction_at_or_below(5) == pytest.approx(50.0)
+        assert curve.fraction_at_or_below(1) == 0.0
+        assert curve.fraction_at_or_below(8) == pytest.approx(100.0)
+
+    def test_egregious_caps_curve(self):
+        qualities = [quality(3), quality(None), quality(None), quality(7)]
+        curve = build_curve("t", qualities)
+        assert curve.egregious_count == 2
+        assert curve.fraction_at_or_below(100) == pytest.approx(50.0)
+
+    def test_ed_at_fraction(self):
+        curve = build_curve("t", [quality(e) for e in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)])
+        assert curve.ed_at_fraction(80.0) == 8
+        assert curve.ed_at_fraction(100.0) == 10
+
+    def test_ed_at_fraction_unreachable(self):
+        curve = build_curve("t", [quality(1), quality(None)])
+        assert curve.ed_at_fraction(90.0) is None
+
+    def test_empty_population(self):
+        curve = build_curve("t", [])
+        assert curve.fraction_at_or_below(50) == 0.0
+        assert curve.ed_at_fraction(50) is None

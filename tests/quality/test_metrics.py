@@ -1,0 +1,141 @@
+"""Tests for the SDC quality metric (relative L2 norm and ED)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quality.metrics import (
+    EGREGIOUS_LIMIT,
+    PIXEL_DIFF_THRESHOLD,
+    assess_sdc,
+    egregiousness_degree,
+    l2_norm,
+    pixel_128_diff,
+    pixel_diff,
+    relative_l2_norm,
+)
+
+u8_images = hnp.arrays(
+    np.uint8, st.tuples(st.integers(1, 12), st.integers(1, 12)), elements=st.integers(0, 255)
+)
+
+
+class TestL2Norm:
+    def test_zero_image(self):
+        assert l2_norm(np.zeros((5, 5), dtype=np.uint8)) == 0.0
+
+    def test_single_pixel(self):
+        img = np.zeros((3, 3), dtype=np.uint8)
+        img[1, 1] = 3
+        assert l2_norm(img) == pytest.approx(3.0)
+
+    def test_pythagorean(self):
+        img = np.zeros((1, 2), dtype=np.uint8)
+        img[0] = [3, 4]
+        assert l2_norm(img) == pytest.approx(5.0)
+
+
+class TestPixelDiff:
+    def test_symmetric_absolute(self):
+        a = np.full((2, 2), 10, dtype=np.uint8)
+        b = np.full((2, 2), 250, dtype=np.uint8)
+        assert np.all(pixel_diff(a, b) == 240)
+        assert np.all(pixel_diff(b, a) == 240)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pixel_diff(np.zeros((2, 2), dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+    @given(u8_images)
+    def test_diff_with_self_is_zero(self, img):
+        assert np.all(pixel_diff(img, img) == 0)
+
+
+class TestThresholdedDiff:
+    def test_small_differences_dropped(self):
+        golden = np.full((2, 2), 100, dtype=np.uint8)
+        faulty = np.full((2, 2), 100 + PIXEL_DIFF_THRESHOLD, dtype=np.uint8)
+        assert np.all(pixel_128_diff(golden, faulty) == 0)  # exactly 128: not > 128
+
+    def test_large_differences_kept(self):
+        golden = np.zeros((2, 2), dtype=np.uint8)
+        faulty = np.full((2, 2), 200, dtype=np.uint8)
+        assert np.all(pixel_128_diff(golden, faulty) == 200)
+
+    @given(u8_images, u8_images.map(lambda a: a))
+    def test_never_exceeds_raw_diff(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert np.all(pixel_128_diff(a, b) <= pixel_diff(a, b))
+
+
+class TestRelativeL2:
+    def test_identical_images_zero(self):
+        img = np.full((4, 4), 200, dtype=np.uint8)
+        assert relative_l2_norm(img, img) == 0.0
+
+    def test_tolerates_small_deviations(self):
+        golden = np.full((4, 4), 100, dtype=np.uint8)
+        faulty = np.full((4, 4), 150, dtype=np.uint8)  # diff 50 < threshold
+        assert relative_l2_norm(golden, faulty) == 0.0
+
+    def test_blackout_is_large(self):
+        golden = np.full((4, 4), 200, dtype=np.uint8)
+        faulty = np.zeros((4, 4), dtype=np.uint8)
+        assert relative_l2_norm(golden, faulty) == pytest.approx(100.0)
+
+    def test_partial_corruption_scales(self):
+        golden = np.full((10, 10), 200, dtype=np.uint8)
+        faulty = golden.copy()
+        faulty[:5, :] = 0  # half the image blacked out
+        expected = 100.0 * np.sqrt(0.5)
+        assert relative_l2_norm(golden, faulty) == pytest.approx(expected)
+
+    def test_blank_golden_with_content(self):
+        golden = np.zeros((4, 4), dtype=np.uint8)
+        faulty = np.full((4, 4), 250, dtype=np.uint8)
+        assert relative_l2_norm(golden, faulty) == float("inf")
+
+    def test_blank_golden_blank_faulty(self):
+        blank = np.zeros((4, 4), dtype=np.uint8)
+        assert relative_l2_norm(blank, blank.copy()) == 0.0
+
+
+class TestED:
+    def test_floor_semantics(self):
+        assert egregiousness_degree(10.25) == 10
+        assert egregiousness_degree(10.99) == 10
+        assert egregiousness_degree(0.0) == 0
+
+    def test_egregious_above_limit(self):
+        assert egregiousness_degree(EGREGIOUS_LIMIT + 0.1) is None
+        assert egregiousness_degree(float("inf")) is None
+
+    def test_limit_itself_has_ed(self):
+        assert egregiousness_degree(100.0) == 100
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_ed_never_exceeds_norm(self, rel):
+        ed = egregiousness_degree(rel)
+        assert ed is not None
+        assert ed <= rel < ed + 1
+
+
+class TestAssess:
+    def test_sdc_quality_fields(self):
+        golden = np.full((4, 4), 200, dtype=np.uint8)
+        faulty = golden.copy()
+        faulty[0, 0] = 0
+        quality = assess_sdc(golden, faulty)
+        assert quality.relative_l2_norm == pytest.approx(25.0)
+        assert quality.egregious_degree == 25
+        assert not quality.egregious
+
+    def test_egregious_flag(self):
+        golden = np.zeros((4, 4), dtype=np.uint8)
+        golden[0, 0] = 1
+        faulty = np.full((4, 4), 255, dtype=np.uint8)
+        quality = assess_sdc(golden, faulty)
+        assert quality.egregious

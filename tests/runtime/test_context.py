@@ -1,0 +1,151 @@
+"""Tests for the execution context: cycles, scopes, watchdog, checkpoints."""
+
+import pytest
+
+from repro.runtime.context import Cell, CostProfile, ExecutionContext, fresh_context
+from repro.runtime.errors import HangDetected
+
+
+class TestCell:
+    def test_holds_value(self):
+        cell = Cell(7)
+        assert cell.value == 7
+
+    def test_mutable(self):
+        cell = Cell(1)
+        cell.value = 99
+        assert cell.value == 99
+
+    def test_repr_mentions_value(self):
+        assert "42" in repr(Cell(42))
+
+
+class TestTick:
+    def test_accumulates_cycles(self):
+        ctx = ExecutionContext()
+        ctx.tick(10)
+        ctx.tick(5)
+        assert ctx.cycles == 15
+
+    def test_starts_at_zero(self):
+        assert ExecutionContext().cycles == 0
+
+    def test_fresh_context_is_plain(self):
+        ctx = fresh_context()
+        assert ctx.injector is None
+        assert ctx.watchdog_cycles is None
+        assert ctx.profile is None
+
+
+class TestWatchdog:
+    def test_raises_past_budget(self):
+        ctx = ExecutionContext(watchdog_cycles=100)
+        ctx.tick(100)  # exactly at budget: fine
+        with pytest.raises(HangDetected):
+            ctx.tick(1)
+
+    def test_exception_carries_counts(self):
+        ctx = ExecutionContext(watchdog_cycles=50)
+        with pytest.raises(HangDetected) as excinfo:
+            ctx.tick(80)
+        assert excinfo.value.cycles == 80
+        assert excinfo.value.budget == 50
+
+    def test_no_watchdog_never_raises(self):
+        ctx = ExecutionContext()
+        ctx.tick(10**12)
+        assert ctx.cycles == 10**12
+
+
+class TestScopes:
+    def test_profile_charges_current_scope(self):
+        profile = CostProfile()
+        ctx = ExecutionContext(profile=profile)
+        with ctx.scope("alpha"):
+            ctx.tick(10)
+            with ctx.scope("beta"):
+                ctx.tick(5)
+            ctx.tick(1)
+        assert profile.by_scope() == {"alpha": 11, "beta": 5}
+
+    def test_toplevel_scope_name(self):
+        profile = CostProfile()
+        ctx = ExecutionContext(profile=profile)
+        ctx.tick(3)
+        assert profile.by_scope() == {"<toplevel>": 3}
+
+    def test_current_scope_tracks_stack(self):
+        ctx = ExecutionContext()
+        assert ctx.current_scope == "<toplevel>"
+        with ctx.scope("outer"):
+            assert ctx.current_scope == "outer"
+        assert ctx.current_scope == "<toplevel>"
+
+    def test_scope_pops_on_exception(self):
+        ctx = ExecutionContext()
+        with pytest.raises(RuntimeError):
+            with ctx.scope("failing"):
+                raise RuntimeError("boom")
+        assert ctx.current_scope == "<toplevel>"
+
+
+class TestCostProfile:
+    def test_fractions_sum_to_one(self):
+        profile = CostProfile()
+        profile.charge("a", 30)
+        profile.charge("b", 70)
+        fractions = profile.fractions()
+        assert fractions["a"] == pytest.approx(0.3)
+        assert fractions["b"] == pytest.approx(0.7)
+
+    def test_empty_profile_fractions(self):
+        assert CostProfile().fractions() == {}
+
+    def test_merged_groups(self):
+        profile = CostProfile()
+        profile.charge("x.one", 10)
+        profile.charge("x.two", 20)
+        profile.charge("y.one", 5)
+        merged = profile.merged(lambda scope: scope.split(".")[0])
+        assert merged == {"x": 30, "y": 5}
+
+    def test_total_cycles(self):
+        profile = CostProfile()
+        profile.charge("a", 12)
+        profile.charge("a", 8)
+        assert profile.total_cycles == 20
+
+
+class TestCheckpoints:
+    def test_window_none_when_unarmed(self):
+        ctx = ExecutionContext()
+        assert ctx.window("some.site") is None
+        assert not ctx.armed
+
+    def test_checkpoint_calls_injector(self):
+        class Probe:
+            def __init__(self):
+                self.visits = []
+
+            observing = True
+
+            def visit(self, ctx, window):
+                self.visits.append(window.site)
+
+        probe = Probe()
+        ctx = ExecutionContext(injector=probe)
+        window = ctx.window("probe.site")
+        assert window is not None
+        ctx.checkpoint(window)
+        assert probe.visits == ["probe.site"]
+
+    def test_window_none_when_injector_done(self):
+        class Done:
+            observing = False
+
+            def visit(self, ctx, window):  # pragma: no cover
+                raise AssertionError("should not be called")
+
+        ctx = ExecutionContext(injector=Done())
+        assert ctx.window("site") is None
+        assert not ctx.armed

@@ -1,0 +1,46 @@
+"""Tests for the error taxonomy."""
+
+import pytest
+
+from repro.runtime.errors import (
+    DegenerateModelError,
+    HangDetected,
+    InsufficientMatchesError,
+    InternalAbortError,
+    ReproError,
+    SegmentationFault,
+    SimulatedMachineError,
+)
+
+
+class TestHierarchy:
+    def test_machine_errors_are_repro_errors(self):
+        assert issubclass(SimulatedMachineError, ReproError)
+
+    @pytest.mark.parametrize("exc_type", [SegmentationFault, InternalAbortError, HangDetected])
+    def test_machine_error_subtypes(self, exc_type):
+        assert issubclass(exc_type, SimulatedMachineError)
+
+    @pytest.mark.parametrize("exc_type", [InsufficientMatchesError, DegenerateModelError])
+    def test_application_errors_are_not_machine_errors(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+        assert not issubclass(exc_type, SimulatedMachineError)
+
+
+class TestSegmentationFault:
+    def test_carries_address(self):
+        exc = SegmentationFault(0xDEAD)
+        assert exc.address == 0xDEAD
+        assert "0xdead" in str(exc)
+
+    def test_custom_message(self):
+        exc = SegmentationFault(1, "ran off the table")
+        assert "ran off the table" in str(exc)
+
+
+class TestHangDetected:
+    def test_carries_budget(self):
+        exc = HangDetected(cycles=1000, budget=500)
+        assert exc.cycles == 1000
+        assert exc.budget == 500
+        assert "1000" in str(exc)

@@ -1,0 +1,76 @@
+"""Tests for the per-frame chain transforms the pipeline records."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import apply_transform
+from repro.runtime.context import ExecutionContext
+from repro.summarize import baseline_config, run_vs
+
+
+@pytest.fixture(scope="module")
+def result(tiny_stream2_module, tiny_config_module):
+    return run_vs(tiny_stream2_module, tiny_config_module, ExecutionContext())
+
+
+@pytest.fixture(scope="module")
+def tiny_stream2_module():
+    from repro.video.synthetic import make_input2
+
+    return make_input2(n_frames=16)
+
+
+@pytest.fixture(scope="module")
+def tiny_config_module():
+    return baseline_config()
+
+
+class TestChainRecording:
+    def test_every_composited_frame_has_a_chain(self, result):
+        for outcome in result.outcomes:
+            if outcome.status in ("anchor", "stitched"):
+                assert outcome.chain is not None
+                assert outcome.chain.shape == (3, 3)
+                assert 0 <= outcome.mini_index < result.num_minis
+            else:
+                assert outcome.chain is None
+
+    def test_anchor_chain_is_translation(self, result):
+        anchors = [o for o in result.outcomes if o.status == "anchor"]
+        assert anchors
+        for anchor in anchors:
+            chain = anchor.chain
+            assert np.allclose(chain[0, :2], [1, 0], atol=1e-9)
+            assert np.allclose(chain[1, :2], [0, 1], atol=1e-9)
+            assert np.allclose(chain[2], [0, 0, 1], atol=1e-9)
+
+    def test_chains_project_into_canvas(self, result):
+        frame_h, frame_w = 72, 96
+        for outcome in result.outcomes:
+            if outcome.chain is None:
+                continue
+            mini = result.minis[outcome.mini_index]
+            center = apply_transform(
+                outcome.chain, np.array([[frame_w / 2, frame_h / 2]])
+            )[0]
+            assert 0 <= center[0] < mini.canvas_w
+            assert 0 <= center[1] < mini.canvas_h
+
+    def test_consecutive_chains_are_close(self, result):
+        """Successive stitched frames of a slow sweep sit near each other."""
+        frame_h, frame_w = 72, 96
+        centers = {}
+        for outcome in result.outcomes:
+            if outcome.chain is None:
+                continue
+            centers[outcome.index] = (
+                outcome.mini_index,
+                apply_transform(outcome.chain, np.array([[frame_w / 2, frame_h / 2]]))[0],
+            )
+        indices = sorted(centers)
+        for a, b in zip(indices, indices[1:]):
+            mini_a, center_a = centers[a]
+            mini_b, center_b = centers[b]
+            if mini_a != mini_b or b - a > 2:
+                continue
+            assert np.linalg.norm(center_b - center_a) < 30.0

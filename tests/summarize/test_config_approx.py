@@ -1,0 +1,84 @@
+"""Tests for VSConfig and the approximation factories."""
+
+import pytest
+
+from repro.summarize.approximations import (
+    ALGORITHM_FACTORIES,
+    baseline_config,
+    config_for,
+    kds_config,
+    rfd_config,
+    sm_config,
+)
+from repro.summarize.config import VSConfig
+
+
+class TestVSConfig:
+    def test_defaults_are_baseline(self):
+        config = VSConfig()
+        assert config.name == "VS"
+        assert config.drop_fraction == 0.0
+        assert config.keypoint_fraction == 1.0
+        assert config.matcher == "ratio"
+
+    def test_rejects_unknown_matcher(self):
+        with pytest.raises(ValueError):
+            VSConfig(matcher="magic")
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(ValueError):
+            VSConfig(drop_fraction=1.0)
+        with pytest.raises(ValueError):
+            VSConfig(drop_fraction=-0.1)
+
+    def test_rejects_bad_keypoint_fraction(self):
+        with pytest.raises(ValueError):
+            VSConfig(keypoint_fraction=0.0)
+        with pytest.raises(ValueError):
+            VSConfig(keypoint_fraction=1.5)
+
+    def test_rejects_small_canvas(self):
+        with pytest.raises(ValueError):
+            VSConfig(canvas_scale=0.5)
+
+    def test_frozen(self):
+        config = VSConfig()
+        with pytest.raises(Exception):
+            config.name = "other"
+
+    def test_with_name(self):
+        renamed = VSConfig().with_name("VS_X")
+        assert renamed.name == "VS_X"
+        assert renamed.drop_fraction == VSConfig().drop_fraction
+
+
+class TestFactories:
+    def test_four_algorithms(self):
+        assert list(ALGORITHM_FACTORIES) == ["VS", "VS_RFD", "VS_KDS", "VS_SM"]
+
+    def test_rfd_drops_ten_percent(self):
+        assert rfd_config().drop_fraction == pytest.approx(0.10)
+        assert rfd_config().name == "VS_RFD"
+
+    def test_kds_matches_a_third(self):
+        assert kds_config().keypoint_fraction == pytest.approx(1 / 3)
+
+    def test_sm_uses_simple_matcher(self):
+        config = sm_config()
+        assert config.matcher == "simple"
+        assert config.sm_max_distance > 0
+
+    def test_baseline_is_precise(self):
+        config = baseline_config()
+        assert config.drop_fraction == 0.0
+        assert config.keypoint_fraction == 1.0
+
+    def test_config_for_dispatch(self):
+        assert config_for("VS_KDS").name == "VS_KDS"
+        with pytest.raises(ValueError):
+            config_for("VS_UNKNOWN")
+
+    def test_overrides_forwarded(self):
+        config = config_for("VS_RFD", n_keypoints=33)
+        assert config.n_keypoints == 33
+        assert config.drop_fraction == pytest.approx(0.10)

@@ -1,0 +1,107 @@
+"""Tests for the end-to-end VS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.context import ExecutionContext
+from repro.summarize.approximations import kds_config, rfd_config, sm_config
+from repro.summarize.config import VSConfig
+from repro.summarize.golden import clear_golden_cache, golden_run
+from repro.summarize.pipeline import run_vs
+from repro.video.frames import FrameStream
+
+
+class TestBaselineRun:
+    def test_produces_panorama(self, tiny_stream2, tiny_config):
+        result = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        assert result.panorama.ndim == 2
+        assert result.panorama.dtype == np.uint8
+        assert np.count_nonzero(result.panorama) > 0
+
+    def test_accounts_every_frame(self, tiny_stream2, tiny_config):
+        result = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        assert len(result.outcomes) == len(tiny_stream2)
+        assert result.frames_stitched + result.frames_discarded == len(tiny_stream2)
+
+    def test_redundant_input_stitches_most(self, tiny_stream2, tiny_config):
+        result = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        assert result.frames_stitched >= 0.7 * len(tiny_stream2)
+        assert result.num_minis <= 2
+
+    def test_busy_input_generates_more_minis(self, tiny_stream1, tiny_stream2, tiny_config):
+        busy = run_vs(tiny_stream1, tiny_config, ExecutionContext())
+        steady = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        assert busy.num_minis >= steady.num_minis
+
+    def test_deterministic(self, tiny_stream2, tiny_config):
+        first = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        second = run_vs(tiny_stream2, tiny_config, ExecutionContext())
+        assert np.array_equal(first.panorama, second.panorama)
+
+    def test_panorama_stacks_minis(self, tiny_stream1, tiny_config):
+        result = run_vs(tiny_stream1, tiny_config, ExecutionContext())
+        canvas_h = result.minis[0].canvas.shape[0]
+        assert result.panorama.shape[0] == canvas_h * result.num_minis
+
+    def test_empty_stream(self, tiny_config):
+        result = run_vs(FrameStream("empty", []), tiny_config, ExecutionContext())
+        assert result.panorama.shape == (1, 1)
+        assert result.outcomes == []
+
+    def test_cycles_recorded(self, tiny_stream2, tiny_config):
+        ctx = ExecutionContext()
+        result = run_vs(tiny_stream2, tiny_config, ctx)
+        assert result.cycles == ctx.cycles > 0
+
+
+class TestApproximations:
+    def test_rfd_processes_fewer_frames(self, tiny_stream2):
+        result = run_vs(tiny_stream2, rfd_config(drop_fraction=0.25), ExecutionContext())
+        assert len(result.outcomes) == 12  # 16 * 0.75
+
+    def test_rfd_deterministic_drop_pattern(self, tiny_stream2):
+        config = rfd_config(drop_fraction=0.25)
+        first = run_vs(tiny_stream2, config, ExecutionContext())
+        second = run_vs(tiny_stream2, config, ExecutionContext())
+        assert np.array_equal(first.panorama, second.panorama)
+
+    def test_kds_runs(self, tiny_stream2):
+        result = run_vs(tiny_stream2, kds_config(), ExecutionContext())
+        assert result.frames_stitched > 0
+
+    def test_kds_cheaper_matching(self, tiny_stream2, tiny_config):
+        base_ctx = ExecutionContext()
+        run_vs(tiny_stream2, tiny_config, base_ctx)
+        kds_ctx = ExecutionContext()
+        run_vs(tiny_stream2, kds_config(), kds_ctx)
+        assert kds_ctx.cycles < base_ctx.cycles
+
+    def test_sm_runs_and_differs(self, tiny_stream1, tiny_config):
+        base = run_vs(tiny_stream1, tiny_config, ExecutionContext())
+        sm = run_vs(tiny_stream1, sm_config(), ExecutionContext())
+        assert sm.frames_stitched > 0
+        # A different matching policy must not crash; outputs may differ.
+        assert sm.panorama.dtype == np.uint8
+        assert base.panorama.dtype == np.uint8
+
+
+class TestGoldenRuns:
+    def test_caching(self, tiny_stream2, tiny_config):
+        first = golden_run(tiny_stream2, tiny_config)
+        second = golden_run(tiny_stream2, tiny_config)
+        assert first is second
+        clear_golden_cache()
+        third = golden_run(tiny_stream2, tiny_config)
+        assert third is not first
+        assert np.array_equal(third.output, first.output)
+
+    def test_profile_attached(self, tiny_stream2, tiny_config):
+        golden = golden_run(tiny_stream2, tiny_config)
+        assert golden.total_cycles > 0
+        assert golden.profile.total_cycles == golden.total_cycles
+
+    def test_distinct_configs_cached_separately(self, tiny_stream2, tiny_config):
+        base = golden_run(tiny_stream2, tiny_config)
+        kds = golden_run(tiny_stream2, kds_config())
+        assert base is not kds
+        assert kds.config.name == "VS_KDS"

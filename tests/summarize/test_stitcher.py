@@ -1,0 +1,140 @@
+"""Tests for pairwise estimation and the mini-panorama compositor."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import rotation, translation
+from repro.imaging.warp import warp_perspective
+from repro.runtime.errors import InsufficientMatchesError
+from repro.summarize.config import VSConfig
+from repro.summarize.stitcher import (
+    MiniPanorama,
+    estimate_pairwise,
+    match_features,
+    matching_subset,
+)
+from repro.vision.orb import FeatureSet, orb_features
+
+
+@pytest.fixture()
+def frame_pair(ctx, textured_image):
+    """Two overlapping views of the same scene plus their features."""
+    shifted = warp_perspective(
+        textured_image, translation(7, 4) @ rotation(0.03, center=(80, 60)),
+        textured_image.shape, ctx,
+    )
+    feats_a = orb_features(textured_image, ctx, n_keypoints=120, fast_threshold=10)
+    feats_b = orb_features(shifted, ctx, n_keypoints=120, fast_threshold=10)
+    return feats_b, feats_a  # (current, previous)
+
+
+class TestMatchingSubset:
+    def _features(self, n):
+        return FeatureSet(
+            coords=np.zeros((n, 2), dtype=np.int64),
+            descriptors=np.zeros((n, 32), dtype=np.uint8),
+            angles=np.zeros(n),
+        )
+
+    def test_full_fraction_is_identity(self):
+        subset = matching_subset(self._features(10), 1.0)
+        assert list(subset) == list(range(10))
+
+    def test_third_takes_every_third(self):
+        subset = matching_subset(self._features(9), 1 / 3)
+        assert list(subset) == [0, 3, 6]
+
+    def test_empty_features(self):
+        assert matching_subset(self._features(0), 0.5).size == 0
+
+
+class TestMatchFeatures:
+    def test_kds_subsamples_current_only(self, ctx, frame_pair):
+        current, previous = frame_pair
+        config = VSConfig(keypoint_fraction=1 / 3)
+        _matches, cur_subset, prev_subset = match_features(current, previous, config, ctx)
+        assert len(cur_subset) == len(matching_subset(current, 1 / 3))
+        assert len(prev_subset) == len(previous)
+
+    def test_simple_matcher_dispatch(self, ctx, frame_pair):
+        current, previous = frame_pair
+        config = VSConfig(matcher="simple", sm_max_distance=20)
+        matches, _cs, _ps = match_features(current, previous, config, ctx)
+        assert np.all(matches.distance <= 20)
+
+
+class TestEstimatePairwise:
+    def test_recovers_alignment(self, ctx, rng, frame_pair):
+        current, previous = frame_pair
+        config = VSConfig()
+        pairwise = estimate_pairwise(
+            current, previous, config, ctx, rng, (120, 160)
+        )
+        assert pairwise.model_type in ("homography", "affine")
+        assert pairwise.num_inliers >= config.min_inliers_affine
+        # current -> previous should be roughly the inverse translation.
+        offset = pairwise.transform[:2, 2]
+        assert np.hypot(offset[0] + 7, offset[1] + 4) < 6.0
+
+    def test_unrelated_frames_rejected(self, ctx, rng, textured_image):
+        # A different random scene: no geometrically consistent matches.
+        gen = np.random.default_rng(99)
+        other = (40 + 170 * gen.random(textured_image.shape)).astype(np.uint8)
+        for _ in range(60):
+            x = int(gen.integers(5, 150))
+            y = int(gen.integers(5, 110))
+            other[y : y + 6, x : x + 6] = int(gen.integers(0, 256))
+        feats_a = orb_features(textured_image, ctx, n_keypoints=80, fast_threshold=10)
+        feats_b = orb_features(other, ctx, n_keypoints=80, fast_threshold=10)
+        with pytest.raises(InsufficientMatchesError):
+            estimate_pairwise(feats_b, feats_a, VSConfig(), ctx, rng, (120, 160))
+
+
+class TestMiniPanorama:
+    def test_canvas_sizing(self):
+        mini = MiniPanorama((72, 96), VSConfig(canvas_scale=3.0))
+        assert mini.canvas.shape == (216, 288)
+        assert mini.coverage.shape == (216, 288)
+
+    def test_anchor_placed_at_center(self, ctx):
+        mini = MiniPanorama((72, 96), VSConfig())
+        frame = np.full((72, 96), 150, dtype=np.uint8)
+        mini.place_anchor(frame, ctx)
+        center_y, center_x = 216 // 2, 288 // 2
+        assert mini.coverage[center_y, center_x] == 255
+        assert mini.coverage[0, 0] == 0
+
+    def test_coverage_fraction_grows(self, ctx):
+        mini = MiniPanorama((72, 96), VSConfig())
+        frame = np.full((72, 96), 150, dtype=np.uint8)
+        mini.place_anchor(frame, ctx)
+        first = mini.coverage_fraction
+        mini.add(frame, translation(40, 10) @ mini.anchor_transform, ctx)
+        assert mini.coverage_fraction > first
+
+    def test_validate_chain_accepts_sane(self, ctx):
+        mini = MiniPanorama((72, 96), VSConfig())
+        chain = mini.anchor_transform @ translation(5, 5)
+        validated = mini.validate_chain(chain, (72, 96))
+        assert validated.shape == (3, 3)
+
+    def test_validate_chain_rejects_extreme_scale(self):
+        mini = MiniPanorama((72, 96), VSConfig())
+        with pytest.raises(InsufficientMatchesError):
+            mini.validate_chain(mini.anchor_transform @ np.diag([10.0, 10.0, 1.0]), (72, 96))
+
+    def test_validate_chain_rejects_offcanvas_center(self):
+        mini = MiniPanorama((72, 96), VSConfig())
+        with pytest.raises(InsufficientMatchesError):
+            mini.validate_chain(translation(5000, 5000), (72, 96))
+
+    def test_cropped_trims_blank(self, ctx):
+        mini = MiniPanorama((72, 96), VSConfig())
+        frame = np.full((72, 96), 150, dtype=np.uint8)
+        mini.place_anchor(frame, ctx)
+        cropped = mini.cropped()
+        assert cropped.shape == (72, 96)
+
+    def test_cropped_empty_canvas(self):
+        mini = MiniPanorama((72, 96), VSConfig())
+        assert mini.cropped().shape == (1, 1)

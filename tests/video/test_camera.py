@@ -1,0 +1,109 @@
+"""Tests for the camera model and path generators."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import apply_transform
+from repro.video.camera import CameraState, busy_path, render_frame, steady_path
+from repro.video.terrain import make_landscape
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return make_landscape(seed=9, height=500, width=700)
+
+
+def plain_state(x=350.0, y=250.0, **overrides) -> CameraState:
+    defaults = dict(center_x=x, center_y=y, angle=0.0, zoom=1.0, gain=1.0, offset=0.0, segment=0)
+    defaults.update(overrides)
+    return CameraState(**defaults)
+
+
+class TestFrameToWorld:
+    def test_center_maps_to_camera_center(self):
+        state = plain_state(x=100.0, y=80.0)
+        mat = state.frame_to_world(96, 72)
+        center = apply_transform(mat, np.array([[(96 - 1) / 2, (72 - 1) / 2]]))
+        assert np.allclose(center, [[100.0, 80.0]])
+
+    def test_zoom_scales_footprint(self):
+        narrow = plain_state(zoom=1.0).frame_to_world(96, 72)
+        wide = plain_state(zoom=2.0).frame_to_world(96, 72)
+        narrow_corners = apply_transform(narrow, np.array([[0.0, 0.0], [95.0, 0.0]]))
+        wide_corners = apply_transform(wide, np.array([[0.0, 0.0], [95.0, 0.0]]))
+        narrow_span = np.linalg.norm(narrow_corners[1] - narrow_corners[0])
+        wide_span = np.linalg.norm(wide_corners[1] - wide_corners[0])
+        assert wide_span == pytest.approx(2 * narrow_span)
+
+
+class TestRenderFrame:
+    def test_shape_and_dtype(self, landscape):
+        frame = render_frame(landscape, plain_state(), 96, 72, np.random.default_rng(0))
+        assert frame.shape == (72, 96)
+        assert frame.dtype == np.uint8
+
+    def test_translation_shifts_content(self, landscape):
+        rng = np.random.default_rng(0)
+        a = render_frame(landscape, plain_state(x=300), 96, 72, rng, noise_sigma=0.0)
+        b = render_frame(landscape, plain_state(x=310), 96, 72, rng, noise_sigma=0.0)
+        # Shifting the camera 10px right shows content 10px to the left.
+        assert np.mean(np.abs(a[:, 10:].astype(int) - b[:, :-10].astype(int))) < 2.0
+
+    def test_gain_brightens(self, landscape):
+        rng = np.random.default_rng(0)
+        normal = render_frame(landscape, plain_state(gain=1.0), 96, 72, rng, noise_sigma=0.0)
+        bright = render_frame(landscape, plain_state(gain=1.4), 96, 72, rng, noise_sigma=0.0)
+        assert bright.mean() > normal.mean() * 1.2
+
+    def test_noise_changes_pixels(self, landscape):
+        a = render_frame(landscape, plain_state(), 96, 72, np.random.default_rng(1))
+        b = render_frame(landscape, plain_state(), 96, 72, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestPaths:
+    def test_steady_path_is_single_segment(self):
+        states = steady_path(40, np.random.default_rng(0), (900, 1200))
+        assert len(states) == 40
+        assert all(s.segment == 0 for s in states)
+
+    def test_steady_path_moves_smoothly(self):
+        states = steady_path(40, np.random.default_rng(1), (900, 1200))
+        steps = [
+            np.hypot(b.center_x - a.center_x, b.center_y - a.center_y)
+            for a, b in zip(states, states[1:])
+        ]
+        assert max(steps) < 12.0
+        assert np.mean(steps) > 2.0
+
+    def test_busy_path_has_multiple_segments(self):
+        states = busy_path(48, np.random.default_rng(2), (900, 1200))
+        segments = {s.segment for s in states}
+        assert len(segments) >= 2
+
+    def test_busy_path_cuts_jump(self):
+        states = busy_path(48, np.random.default_rng(3), (900, 1200))
+        cut_jumps = [
+            np.hypot(b.center_x - a.center_x, b.center_y - a.center_y)
+            for a, b in zip(states, states[1:])
+            if b.segment != a.segment
+        ]
+        assert cut_jumps, "no segment cuts generated"
+        assert min(cut_jumps) > 50.0
+
+    def test_busy_path_never_freezes(self):
+        """The camera must keep moving (margin bounce, not clamp)."""
+        states = busy_path(60, np.random.default_rng(4), (900, 1200))
+        steps = [
+            np.hypot(b.center_x - a.center_x, b.center_y - a.center_y)
+            for a, b in zip(states, states[1:])
+            if b.segment == a.segment
+        ]
+        assert min(steps) > 5.0
+
+    def test_paths_stay_inside_landscape(self):
+        for maker, seed in ((steady_path, 5), (busy_path, 6)):
+            states = maker(60, np.random.default_rng(seed), (900, 1200))
+            for s in states:
+                assert 0 <= s.center_x <= 1200
+                assert 0 <= s.center_y <= 900

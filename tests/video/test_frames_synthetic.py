@@ -1,0 +1,111 @@
+"""Tests for frame streams and the two synthetic inputs."""
+
+import numpy as np
+import pytest
+
+from repro.video.frames import FrameStream, drop_frames_randomly
+from repro.video.synthetic import make_input, make_input1, make_input2
+
+
+def make_frames(n=10, shape=(6, 8)):
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 256, shape).astype(np.uint8) for _ in range(n)]
+
+
+class TestFrameStream:
+    def test_basic_container(self):
+        stream = FrameStream("s", make_frames(5))
+        assert len(stream) == 5
+        assert stream.frame_shape == (6, 8)
+        assert stream[2].shape == (6, 8)
+
+    def test_frames_become_read_only(self):
+        stream = FrameStream("s", make_frames(2))
+        with pytest.raises(ValueError):
+            stream[0][0, 0] = 1
+
+    def test_rejects_color_frames(self):
+        bad = [np.zeros((4, 4, 3), dtype=np.uint8)]
+        with pytest.raises(ValueError):
+            FrameStream("bad", bad)
+
+    def test_empty_stream_has_no_shape(self):
+        with pytest.raises(ValueError):
+            FrameStream("empty", []).frame_shape
+
+    def test_subsample(self):
+        stream = FrameStream("s", make_frames(10))
+        sub = stream.subsample(3)
+        assert len(sub) == 4
+        assert np.array_equal(sub[1], stream[3])
+
+    def test_subsample_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FrameStream("s", make_frames(3)).subsample(0)
+
+
+class TestRandomFrameDropping:
+    def test_drops_expected_count(self):
+        stream = FrameStream("s", make_frames(20))
+        dropped = drop_frames_randomly(stream, 0.10, np.random.default_rng(0))
+        assert len(dropped) == 18
+
+    def test_order_preserved(self):
+        stream = FrameStream("s", make_frames(20))
+        dropped = drop_frames_randomly(stream, 0.25, np.random.default_rng(1))
+        survivors = [
+            next(i for i in range(20) if np.array_equal(stream[i], frame))
+            for frame in dropped
+        ]
+        assert survivors == sorted(survivors)
+
+    def test_zero_fraction_keeps_all(self):
+        stream = FrameStream("s", make_frames(7))
+        kept = drop_frames_randomly(stream, 0.0, np.random.default_rng(2))
+        assert len(kept) == 7
+
+    def test_deterministic_per_seed(self):
+        stream = FrameStream("s", make_frames(30))
+        a = drop_frames_randomly(stream, 0.2, np.random.default_rng(42))
+        b = drop_frames_randomly(stream, 0.2, np.random.default_rng(42))
+        assert len(a) == len(b)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_rejects_bad_fraction(self):
+        stream = FrameStream("s", make_frames(5))
+        with pytest.raises(ValueError):
+            drop_frames_randomly(stream, 1.0, np.random.default_rng(0))
+
+
+class TestSyntheticInputs:
+    def test_input1_properties(self, tiny_stream1):
+        assert len(tiny_stream1) == 16
+        assert tiny_stream1.frame_shape == (72, 96)
+        assert tiny_stream1.name == "input1"
+
+    def test_input2_properties(self, tiny_stream2):
+        assert len(tiny_stream2) == 16
+        assert tiny_stream2.name == "input2"
+
+    def test_inputs_deterministic(self):
+        a = make_input1(n_frames=4)
+        b = make_input1(n_frames=4)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_input2_more_redundant_than_input1(self, tiny_stream1, tiny_stream2):
+        def mean_consecutive_diff(stream):
+            diffs = [
+                np.abs(a.astype(int) - b.astype(int)).mean()
+                for a, b in zip(stream, list(stream)[1:])
+            ]
+            return np.mean(diffs)
+
+        assert mean_consecutive_diff(tiny_stream2) < mean_consecutive_diff(tiny_stream1)
+
+    def test_make_input_dispatch(self):
+        assert make_input("input1", n_frames=2).name == "input1"
+        assert make_input("input2", n_frames=2).name == "input2"
+        with pytest.raises(ValueError):
+            make_input("input3")

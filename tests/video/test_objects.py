@@ -1,0 +1,86 @@
+"""Tests for synthetic moving objects."""
+
+import numpy as np
+import pytest
+
+from repro.video.objects import MovingObject, spawn_objects, stamp_objects
+from repro.video.synthetic import make_event_input
+
+
+class TestMovingObject:
+    def test_linear_motion(self):
+        obj = MovingObject(0, 10.0, 20.0, 2.0, -1.0, 5.0, 5.0, 250.0)
+        assert obj.position(0) == (10.0, 20.0)
+        assert obj.position(10) == (30.0, 10.0)
+
+
+class TestSpawn:
+    def test_count_and_ids(self):
+        objects = spawn_objects(np.random.default_rng(0), (900, 1200), 5)
+        assert len(objects) == 5
+        assert sorted(o.object_id for o in objects) == list(range(5))
+
+    def test_alternating_contrast(self):
+        objects = spawn_objects(np.random.default_rng(1), (900, 1200), 4)
+        assert objects[0].intensity > 200
+        assert objects[1].intensity < 50
+
+    def test_speed_within_range(self):
+        objects = spawn_objects(
+            np.random.default_rng(2), (900, 1200), 10, speed_range=(1.0, 3.0)
+        )
+        for obj in objects:
+            speed = np.hypot(obj.velocity_x, obj.velocity_y)
+            assert 1.0 <= speed <= 3.0
+
+
+class TestStamp:
+    def test_object_visible(self):
+        world = np.full((100, 100), 100.0)
+        obj = MovingObject(0, 50.0, 50.0, 0.0, 0.0, 6.0, 6.0, 250.0)
+        stamped = stamp_objects(world, [obj], frame_index=0)
+        assert stamped[50, 50] == 250.0
+        assert stamped[10, 10] == 100.0
+
+    def test_original_untouched(self):
+        world = np.full((100, 100), 100.0)
+        obj = MovingObject(0, 50.0, 50.0, 0.0, 0.0, 6.0, 6.0, 250.0)
+        stamp_objects(world, [obj], frame_index=0)
+        assert world[50, 50] == 100.0
+
+    def test_motion_between_frames(self):
+        world = np.full((100, 100), 100.0)
+        obj = MovingObject(0, 20.0, 50.0, 5.0, 0.0, 4.0, 4.0, 250.0)
+        early = stamp_objects(world, [obj], frame_index=0)
+        late = stamp_objects(world, [obj], frame_index=4)
+        assert early[50, 20] == 250.0 and late[50, 20] == 100.0
+        assert late[50, 40] == 250.0
+
+    def test_offscreen_object_clipped(self):
+        world = np.full((50, 50), 100.0)
+        obj = MovingObject(0, 200.0, 200.0, 0.0, 0.0, 5.0, 5.0, 250.0)
+        stamped = stamp_objects(world, [obj], frame_index=0)
+        assert np.array_equal(stamped, world)
+
+
+class TestEventInput:
+    def test_deterministic(self):
+        a = make_event_input(n_frames=6)
+        b = make_event_input(n_frames=6)
+        for fa, fb in zip(a.stream, b.stream):
+            assert np.array_equal(fa, fb)
+
+    def test_has_ground_truth(self):
+        event_input = make_event_input(n_frames=6, n_objects=4)
+        assert len(event_input.objects) == 4
+        assert len(event_input.states) == 6
+
+    def test_movers_change_frames(self):
+        """Frames must differ by more than sensor noise where movers pass."""
+        event_input = make_event_input(n_frames=8, n_objects=3)
+        frames = list(event_input.stream)
+        diffs = [
+            np.abs(a.astype(int) - b.astype(int)).max()
+            for a, b in zip(frames, frames[1:])
+        ]
+        assert max(diffs) > 60

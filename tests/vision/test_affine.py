@@ -1,0 +1,88 @@
+"""Tests for affine estimation."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import apply_transform, rotation, scaling, translation
+from repro.runtime.errors import DegenerateModelError, InternalAbortError
+from repro.vision.affine import (
+    affine_residuals,
+    estimate_affine,
+    solve_affines_batched,
+)
+
+
+def planted_affine():
+    return translation(4, -7) @ rotation(0.3) @ scaling(1.2, 0.9)
+
+
+class TestEstimateAffine:
+    def test_recovers_planted(self, rng):
+        mat = planted_affine()
+        src = rng.uniform(0, 100, (10, 2))
+        dst = apply_transform(mat, src)
+        estimated = estimate_affine(src, dst)
+        assert np.allclose(estimated, mat, atol=1e-8)
+
+    def test_last_row_is_affine(self, rng):
+        src = rng.uniform(0, 100, (10, 2))
+        estimated = estimate_affine(src, src + 2.0)
+        assert np.allclose(estimated[2], [0, 0, 1])
+
+    def test_minimum_three_points(self, rng):
+        src = rng.uniform(0, 100, (3, 2))
+        dst = apply_transform(planted_affine(), src)
+        estimated = estimate_affine(src, dst)
+        assert np.allclose(estimated, planted_affine(), atol=1e-8)
+
+    def test_too_few_points_abort(self, rng):
+        src = rng.uniform(0, 100, (2, 2))
+        with pytest.raises(InternalAbortError):
+            estimate_affine(src, src)
+
+    def test_collinear_degenerate(self):
+        xs = np.linspace(0, 10, 5)
+        src = np.stack([xs, xs], axis=1)
+        with pytest.raises(DegenerateModelError):
+            estimate_affine(src, src)
+
+    def test_noise_tolerance(self, rng):
+        mat = planted_affine()
+        src = rng.uniform(0, 100, (50, 2))
+        dst = apply_transform(mat, src) + rng.normal(0, 0.1, (50, 2))
+        estimated = estimate_affine(src, dst)
+        assert affine_residuals(estimated, src, dst).mean() < 0.5
+
+
+class TestBatchedAffine:
+    def test_solves_triples(self, rng):
+        mat = planted_affine()
+        src = rng.uniform(0, 100, (5, 3, 2))
+        dst = np.stack([apply_transform(mat, triple) for triple in src])
+        models, ok = solve_affines_batched(src, dst)
+        assert ok.all()
+        for model in models:
+            assert np.allclose(model, mat, atol=1e-6)
+
+    def test_collinear_flagged(self, rng):
+        src = rng.uniform(0, 100, (2, 3, 2))
+        src[0, 1] = src[0, 0]  # coincident pair -> singular system
+        models, ok = solve_affines_batched(src, src.copy())
+        assert not bool(ok[0]) and bool(ok[1])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_affines_batched(np.zeros((2, 4, 2)), np.zeros((2, 4, 2)))
+
+
+class TestResiduals:
+    def test_exact_zero(self, rng):
+        mat = planted_affine()
+        src = rng.uniform(0, 100, (8, 2))
+        dst = apply_transform(mat, src)
+        assert affine_residuals(mat, src, dst).max() < 1e-9
+
+    def test_known_offset(self):
+        src = np.array([[0.0, 0.0]])
+        dst = np.array([[3.0, 4.0]])
+        assert affine_residuals(np.eye(3), src, dst)[0] == pytest.approx(5.0)

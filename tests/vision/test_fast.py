@@ -1,0 +1,99 @@
+"""Tests for the FAST-9 corner detector."""
+
+import numpy as np
+import pytest
+
+from repro.vision.fast import BORDER, CIRCLE_OFFSETS, Keypoint, detect_fast
+
+
+def stamp_corner(image: np.ndarray, x: int, y: int, bright: int = 220) -> None:
+    """Paint a solid quadrant whose corner sits at (x, y)."""
+    image[y:, x:] = bright
+
+
+class TestCircleGeometry:
+    def test_sixteen_offsets(self):
+        assert len(CIRCLE_OFFSETS) == 16
+
+    def test_radius_three(self):
+        for dx, dy in CIRCLE_OFFSETS:
+            assert 2.8 <= np.hypot(dx, dy) <= 3.2
+
+    def test_offsets_unique(self):
+        assert len(set(CIRCLE_OFFSETS)) == 16
+
+
+class TestDetect:
+    def test_finds_strong_corner(self, ctx):
+        img = np.full((40, 40), 50, dtype=np.uint8)
+        stamp_corner(img, 20, 20)
+        keypoints = detect_fast(img, ctx, threshold=20)
+        assert keypoints, "no keypoints found"
+        best = keypoints[0]
+        assert abs(best.x - 20) <= 2 and abs(best.y - 20) <= 2
+
+    def test_flat_image_has_no_corners(self, ctx):
+        img = np.full((40, 40), 128, dtype=np.uint8)
+        assert detect_fast(img, ctx) == []
+
+    def test_straight_edge_is_not_a_corner(self, ctx):
+        img = np.full((40, 40), 50, dtype=np.uint8)
+        img[:, 20:] = 220  # vertical step edge
+        keypoints = detect_fast(img, ctx, threshold=20)
+        assert keypoints == []
+
+    def test_keypoints_respect_border(self, ctx, textured_image):
+        for kp in detect_fast(textured_image, ctx, threshold=15):
+            assert BORDER <= kp.x < textured_image.shape[1] - BORDER
+            assert BORDER <= kp.y < textured_image.shape[0] - BORDER
+
+    def test_sorted_by_score(self, ctx, textured_image):
+        keypoints = detect_fast(textured_image, ctx, threshold=15)
+        scores = [kp.score for kp in keypoints]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_higher_threshold_fewer_keypoints(self, ctx, textured_image):
+        low = detect_fast(textured_image, ctx, threshold=10)
+        high = detect_fast(textured_image, ctx, threshold=40)
+        assert len(high) <= len(low)
+
+    def test_tiny_image_is_empty(self, ctx):
+        assert detect_fast(np.zeros((5, 5), dtype=np.uint8), ctx) == []
+
+    def test_charges_cycles(self, textured_image):
+        from repro.runtime.context import ExecutionContext
+
+        ctx = ExecutionContext()
+        detect_fast(textured_image, ctx)
+        assert ctx.cycles > 0
+
+    def test_deterministic(self, textured_image):
+        from repro.runtime.context import ExecutionContext
+
+        first = detect_fast(textured_image, ExecutionContext(), threshold=12)
+        second = detect_fast(textured_image, ExecutionContext(), threshold=12)
+        assert first == second
+
+    def test_inverted_corner_also_detected(self, ctx):
+        img = np.full((40, 40), 220, dtype=np.uint8)
+        img[20:, 20:] = 30  # dark quadrant: darker-arc corner
+        keypoints = detect_fast(img, ctx, threshold=20)
+        assert keypoints
+
+
+class TestNMS:
+    def test_single_maximum_per_neighbourhood(self, ctx):
+        img = np.full((40, 40), 60, dtype=np.uint8)
+        stamp_corner(img, 15, 15, bright=230)
+        keypoints = detect_fast(img, ctx, threshold=20, nms_radius=2)
+        coords = [(kp.x, kp.y) for kp in keypoints]
+        for i, (x1, y1) in enumerate(coords):
+            for x2, y2 in coords[i + 1 :]:
+                assert max(abs(x1 - x2), abs(y1 - y2)) > 1
+
+
+class TestKeypointDataclass:
+    def test_frozen(self):
+        kp = Keypoint(1, 2, 3.0)
+        with pytest.raises(AttributeError):
+            kp.x = 9

@@ -1,0 +1,126 @@
+"""Tests for homography estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.geometry import apply_transform, rotation, scaling, translation
+from repro.runtime.errors import DegenerateModelError, InternalAbortError
+from repro.vision.homography import (
+    estimate_homography,
+    homography_residuals,
+    solve_homographies_batched,
+)
+
+
+def sample_points(rng, n=12):
+    return rng.uniform(0, 100, (n, 2))
+
+
+def planted_homography():
+    mat = translation(8, -3) @ rotation(0.2, center=(50, 50)) @ scaling(1.1)
+    mat[2, 0] = 1e-4
+    return mat / mat[2, 2]
+
+
+class TestEstimate:
+    def test_recovers_planted_transform(self, rng):
+        mat = planted_homography()
+        src = sample_points(rng)
+        dst = apply_transform(mat, src)
+        estimated = estimate_homography(src, dst)
+        assert np.allclose(estimated, mat, atol=1e-6)
+
+    def test_zero_residuals_on_exact_data(self, rng):
+        mat = planted_homography()
+        src = sample_points(rng)
+        dst = apply_transform(mat, src)
+        estimated = estimate_homography(src, dst)
+        assert homography_residuals(estimated, src, dst).max() < 1e-6
+
+    def test_identity_from_identical_point_sets(self, rng):
+        src = sample_points(rng)
+        estimated = estimate_homography(src, src.copy())
+        assert np.allclose(estimated, np.eye(3), atol=1e-8)
+
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_recovers_translations(self, tx, ty):
+        rng = np.random.default_rng(5)
+        src = sample_points(rng)
+        dst = src + [tx, ty]
+        estimated = estimate_homography(src, dst)
+        assert np.allclose(estimated, translation(tx, ty), atol=1e-6)
+
+    def test_least_squares_tolerates_noise(self, rng):
+        mat = planted_homography()
+        src = sample_points(rng, n=40)
+        dst = apply_transform(mat, src) + rng.normal(0, 0.05, (40, 2))
+        estimated = estimate_homography(src, dst)
+        assert homography_residuals(estimated, src, dst).mean() < 0.3
+
+
+class TestPreconditions:
+    def test_too_few_points_abort(self, rng):
+        src = sample_points(rng, n=3)
+        with pytest.raises(InternalAbortError):
+            estimate_homography(src, src)
+
+    def test_nonfinite_points_abort(self, rng):
+        src = sample_points(rng)
+        dst = src.copy()
+        dst[0, 0] = np.nan
+        with pytest.raises(InternalAbortError):
+            estimate_homography(src, dst)
+
+    def test_shape_mismatch_abort(self, rng):
+        with pytest.raises(InternalAbortError):
+            estimate_homography(sample_points(rng, 8), sample_points(rng, 9))
+
+    def test_coincident_points_degenerate(self):
+        src = np.ones((8, 2))
+        with pytest.raises(DegenerateModelError):
+            estimate_homography(src, src)
+
+    def test_collinear_points_degenerate(self):
+        xs = np.linspace(0, 50, 8)
+        src = np.stack([xs, 2 * xs], axis=1)
+        with pytest.raises(DegenerateModelError):
+            estimate_homography(src, src + 1.0)
+
+
+class TestBatchedSolver:
+    def test_solves_valid_hypotheses(self, rng):
+        mat = planted_homography()
+        src = rng.uniform(0, 100, (6, 4, 2))
+        dst = np.stack([apply_transform(mat, quad) for quad in src])
+        models, ok = solve_homographies_batched(src, dst)
+        assert ok.all()
+        for model in models:
+            assert np.allclose(model / model[2, 2], mat, atol=1e-5)
+
+    def test_flags_degenerate_samples(self, rng):
+        src = rng.uniform(0, 100, (3, 4, 2))
+        src[1] = 5.0  # four coincident points
+        dst = src.copy()
+        _models, ok = solve_homographies_batched(src, dst)
+        assert bool(ok[0]) and not bool(ok[1]) and bool(ok[2])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            solve_homographies_batched(np.zeros((2, 3, 2)), np.zeros((2, 3, 2)))
+
+
+class TestResiduals:
+    def test_infinite_for_horizon_points(self, rng):
+        mat = np.eye(3)
+        mat[2, 0] = -0.01  # horizon at x = 100
+        src = np.array([[100.0, 0.0], [5.0, 5.0]])
+        dst = src.copy()
+        residuals = homography_residuals(mat, src, dst)
+        assert np.isinf(residuals[0])
+        assert np.isfinite(residuals[1])

@@ -1,0 +1,135 @@
+"""Tests for Hamming matching (ratio-test and simple policies)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.vision.matching import (
+    MatchSet,
+    hamming_distance_matrix,
+    match_ratio,
+    match_simple,
+)
+
+descriptor_arrays = hnp.arrays(
+    np.uint8, st.tuples(st.integers(1, 12), st.just(32)), elements=st.integers(0, 255)
+)
+
+
+def popcount_reference(a: np.ndarray, b: np.ndarray) -> int:
+    return sum(bin(x ^ y).count("1") for x, y in zip(a.tolist(), b.tolist()))
+
+
+class TestHammingMatrix:
+    def test_zero_distance_on_identical(self, ctx):
+        desc = np.arange(64, dtype=np.uint8).reshape(2, 32)
+        distances = hamming_distance_matrix(desc, desc, ctx)
+        assert distances[0, 0] == 0 and distances[1, 1] == 0
+
+    def test_matches_reference_popcount(self, ctx, rng):
+        a = rng.integers(0, 256, (5, 32)).astype(np.uint8)
+        b = rng.integers(0, 256, (7, 32)).astype(np.uint8)
+        distances = hamming_distance_matrix(a, b, ctx)
+        for i in range(5):
+            for j in range(7):
+                assert distances[i, j] == popcount_reference(a[i], b[j])
+
+    def test_empty_inputs(self, ctx):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        full = np.zeros((3, 32), dtype=np.uint8)
+        assert hamming_distance_matrix(empty, full, ctx).shape == (0, 3)
+        assert hamming_distance_matrix(full, empty, ctx).shape == (3, 0)
+
+    @given(descriptor_arrays, descriptor_arrays)
+    def test_symmetry(self, a, b):
+        from repro.runtime.context import ExecutionContext
+
+        ctx = ExecutionContext()
+        forward = hamming_distance_matrix(a, b, ctx)
+        backward = hamming_distance_matrix(b, a, ctx)
+        assert np.array_equal(forward, backward.T)
+
+    @given(descriptor_arrays)
+    def test_diagonal_zero_and_bounds(self, a):
+        from repro.runtime.context import ExecutionContext
+
+        distances = hamming_distance_matrix(a, a, ExecutionContext())
+        assert np.all(np.diag(distances) == 0)
+        assert distances.max() <= 256
+
+    def test_charges_quadratic_cost(self):
+        from repro.perfmodel.cost import kernel_cost
+        from repro.runtime.context import ExecutionContext
+
+        a = np.zeros((10, 32), dtype=np.uint8)
+        b = np.zeros((20, 32), dtype=np.uint8)
+        ctx = ExecutionContext()
+        hamming_distance_matrix(a, b, ctx)
+        assert ctx.cycles >= kernel_cost("match.pair") * 10 * 20
+
+
+class TestRatioMatching:
+    def test_finds_planted_matches(self, ctx, rng):
+        base = rng.integers(0, 256, (20, 32)).astype(np.uint8)
+        # Second set: same descriptors with one flipped bit each.
+        noisy = base.copy()
+        noisy[:, 0] ^= 1
+        matches = match_ratio(base, noisy, ctx)
+        assert len(matches) == 20
+        assert np.array_equal(matches.query_idx, matches.train_idx)
+
+    def test_ambiguous_match_rejected(self, ctx):
+        # Two identical candidates: the ratio test cannot disambiguate.
+        query = np.zeros((1, 32), dtype=np.uint8)
+        train = np.zeros((2, 32), dtype=np.uint8)
+        assert len(match_ratio(query, train, ctx)) == 0
+
+    def test_needs_two_candidates(self, ctx):
+        query = np.zeros((3, 32), dtype=np.uint8)
+        train = np.zeros((1, 32), dtype=np.uint8)
+        assert len(match_ratio(query, train, ctx)) == 0
+
+    def test_distances_reported(self, ctx, rng):
+        base = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        matches = match_ratio(base, base.copy(), ctx)
+        assert np.all(matches.distance == 0)
+
+
+class TestSimpleMatching:
+    def test_absolute_bound_enforced(self, ctx, rng):
+        base = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        far = (~base).astype(np.uint8)  # 256 bits away
+        matches = match_simple(base, far, ctx, max_distance=32)
+        assert len(matches) == 0
+
+    def test_accepts_near_perfect(self, ctx, rng):
+        base = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+        matches = match_simple(base, base.copy(), ctx, max_distance=0)
+        assert len(matches) == 10
+
+    def test_identical_objects_both_match(self, ctx):
+        """The VS_SM failure mode: two identical objects both pass the bound."""
+        desc = np.full((1, 32), 7, dtype=np.uint8)
+        train = np.vstack([desc, desc])
+        matches = match_simple(desc, train, ctx, max_distance=10)
+        # The single NN maps to one of them arbitrarily — a potential
+        # wrong-object mapping the ratio test would have rejected.
+        assert len(matches) == 1
+
+    def test_empty(self, ctx):
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        assert len(match_simple(empty, empty, ctx)) == 0
+
+
+class TestMatchSet:
+    def test_empty_constructor(self):
+        empty = MatchSet.empty()
+        assert len(empty) == 0
+
+    def test_len(self):
+        ms = MatchSet(
+            np.array([0, 1]), np.array([1, 0]), np.array([3, 4])
+        )
+        assert len(ms) == 2

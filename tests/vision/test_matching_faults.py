@@ -1,0 +1,70 @@
+"""Designed-corruption tests for the matcher's failure semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.context import ExecutionContext
+from repro.runtime.errors import SegmentationFault
+from repro.vision.matching import hamming_distance_matrix
+
+
+class CellCorruptor:
+    """Fires once: overwrites a named bound cell at the first checkpoint."""
+
+    def __init__(self, name, value, fire_at_visit=1):
+        self.name = name
+        self.value = value
+        self.fire_at_visit = fire_at_visit
+        self.visits = 0
+        self.fired = False
+
+    @property
+    def observing(self):
+        return not self.fired
+
+    def visit(self, ctx, window):
+        self.visits += 1
+        if self.visits < self.fire_at_visit:
+            return
+        for binding in window.bindings:
+            if binding.name == self.name and hasattr(binding, "cell"):
+                binding.cell.value = self.value
+                self.fired = True
+                return
+
+
+@pytest.fixture()
+def descriptors(rng):
+    a = rng.integers(0, 256, (70, 32)).astype(np.uint8)
+    b = rng.integers(0, 256, (50, 32)).astype(np.uint8)
+    return a, b
+
+
+class TestMatchRowCorruption:
+    def test_negative_row_segfaults(self, descriptors):
+        a, b = descriptors
+        ctx = ExecutionContext(injector=CellCorruptor("match_row", -3))
+        with pytest.raises(SegmentationFault):
+            hamming_distance_matrix(a, b, ctx)
+
+    def test_huge_row_bound_segfaults(self, descriptors):
+        a, b = descriptors
+        ctx = ExecutionContext(injector=CellCorruptor("match_rows_end", 1 << 30))
+        with pytest.raises(SegmentationFault):
+            hamming_distance_matrix(a, b, ctx)
+
+    def test_shortened_bound_leaves_rows_uncomputed(self, descriptors):
+        a, b = descriptors
+        clean = hamming_distance_matrix(a, b, ExecutionContext())
+        ctx = ExecutionContext(injector=CellCorruptor("match_rows_end", 20))
+        corrupted = hamming_distance_matrix(a, b, ctx)
+        assert np.array_equal(corrupted[:20], clean[:20])
+        assert np.all(corrupted[40:] == 0)  # never computed
+
+    def test_backward_row_jump_masks(self, descriptors):
+        a, b = descriptors
+        clean = hamming_distance_matrix(a, b, ExecutionContext())
+        # Jumping the row counter backwards recomputes identical rows.
+        ctx = ExecutionContext(injector=CellCorruptor("match_row", 0, fire_at_visit=2))
+        corrupted = hamming_distance_matrix(a, b, ctx)
+        assert np.array_equal(clean, corrupted)

@@ -1,0 +1,120 @@
+"""Tests for ORB-style descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import rotation, translation
+from repro.imaging.warp import warp_perspective
+from repro.runtime.context import ExecutionContext
+from repro.runtime.errors import InternalAbortError
+from repro.vision.matching import hamming_distance_matrix
+from repro.vision.orb import (
+    DESCRIPTOR_BITS,
+    DESCRIPTOR_BYTES,
+    ORB_BORDER,
+    brief_pattern,
+    describe,
+    orb_features,
+    orientation_angles,
+)
+
+
+class TestBriefPattern:
+    def test_shape(self):
+        assert brief_pattern().shape == (DESCRIPTOR_BITS, 2, 2)
+
+    def test_deterministic(self):
+        assert np.array_equal(brief_pattern(), brief_pattern())
+
+    def test_offsets_bounded(self):
+        pattern = brief_pattern()
+        assert np.abs(pattern).max() <= 6
+
+
+class TestOrbFeatures:
+    def test_extracts_features(self, ctx, textured_image):
+        features = orb_features(textured_image, ctx, n_keypoints=50)
+        assert 0 < len(features) <= 50
+        assert features.descriptors.shape == (len(features), DESCRIPTOR_BYTES)
+        assert features.coords.shape == (len(features), 2)
+        assert features.angles.shape == (len(features),)
+
+    def test_respects_keypoint_cap(self, ctx, textured_image):
+        features = orb_features(textured_image, ctx, n_keypoints=5)
+        assert len(features) <= 5
+
+    def test_coords_inside_orb_border(self, ctx, textured_image):
+        features = orb_features(textured_image, ctx)
+        h, w = textured_image.shape
+        assert np.all(features.coords[:, 0] >= ORB_BORDER)
+        assert np.all(features.coords[:, 0] < w - ORB_BORDER)
+        assert np.all(features.coords[:, 1] >= ORB_BORDER)
+        assert np.all(features.coords[:, 1] < h - ORB_BORDER)
+
+    def test_flat_image_no_features(self, ctx):
+        features = orb_features(np.full((60, 60), 99, dtype=np.uint8), ctx)
+        assert len(features) == 0
+
+    def test_deterministic(self, textured_image):
+        first = orb_features(textured_image, ExecutionContext())
+        second = orb_features(textured_image, ExecutionContext())
+        assert np.array_equal(first.descriptors, second.descriptors)
+        assert np.array_equal(first.coords, second.coords)
+
+
+class TestDescriptorStability:
+    def test_descriptors_match_across_translation(self, ctx, textured_image):
+        """The same world point should get a similar descriptor after a shift."""
+        shifted = warp_perspective(
+            textured_image, translation(6, 4), textured_image.shape, ctx
+        )
+        feats_a = orb_features(textured_image, ctx, n_keypoints=60, fast_threshold=12)
+        feats_b = orb_features(shifted, ctx, n_keypoints=60, fast_threshold=12)
+        assert len(feats_a) > 10 and len(feats_b) > 10
+        distances = hamming_distance_matrix(feats_a.descriptors, feats_b.descriptors, ctx)
+        # A healthy share of keypoints should find a near-duplicate.
+        good = (distances.min(axis=1) < 40).mean()
+        assert good > 0.4
+
+    def test_rotation_invariance_beats_chance(self, ctx, textured_image):
+        h, w = textured_image.shape
+        rotated = warp_perspective(
+            textured_image,
+            rotation(0.35, center=(w / 2, h / 2)),
+            textured_image.shape,
+            ctx,
+        )
+        feats_a = orb_features(textured_image, ctx, n_keypoints=60, fast_threshold=12)
+        feats_b = orb_features(rotated, ctx, n_keypoints=60, fast_threshold=12)
+        distances = hamming_distance_matrix(feats_a.descriptors, feats_b.descriptors, ctx)
+        # Chance level for 256-bit descriptors is ~128; steered BRIEF
+        # should find substantially closer matches for many keypoints.
+        assert np.median(distances.min(axis=1)) < 80
+
+
+class TestOrientation:
+    def test_gradient_patch_angle(self):
+        image = np.tile(np.arange(64, dtype=np.float64) * 4, (64, 1))
+        angles = orientation_angles(image, np.array([[32, 32]]))
+        # Intensity grows along +x, so the centroid points along +x.
+        assert abs(angles[0]) < 0.2
+
+    def test_rotated_gradient_rotates_angle(self):
+        image = np.tile(np.arange(64, dtype=np.float64) * 4, (64, 1)).T
+        angles = orientation_angles(image, np.array([[32, 32]]))
+        assert abs(angles[0] - np.pi / 2) < 0.2
+
+
+class TestDescribePreconditions:
+    def test_wild_coordinates_abort(self, ctx, textured_image):
+        blurred = textured_image.astype(np.float64)
+        wild = np.array([[10**9, 20]], dtype=np.int64)
+        with pytest.raises(InternalAbortError):
+            describe(blurred, wild, ctx)
+
+    def test_empty_coords_ok(self, ctx, textured_image):
+        descriptors, angles = describe(
+            textured_image.astype(np.float64), np.zeros((0, 2), dtype=np.int64), ctx
+        )
+        assert descriptors.shape == (0, DESCRIPTOR_BYTES)
+        assert angles.shape == (0,)

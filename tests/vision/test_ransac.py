@@ -1,0 +1,124 @@
+"""Tests for robust estimation (RANSAC homography and affine)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.geometry import apply_transform, rotation, translation
+from repro.runtime.context import Cell, ExecutionContext
+from repro.runtime.errors import HangDetected, InsufficientMatchesError
+from repro.vision.ransac import ransac_affine, ransac_homography
+
+
+def planted():
+    mat = translation(12, 5) @ rotation(0.15, center=(40, 40))
+    mat[2, 0] = 5e-5
+    return mat / mat[2, 2]
+
+
+def make_correspondences(rng, n_inliers=30, n_outliers=0, noise=0.0):
+    mat = planted()
+    src = rng.uniform(0, 100, (n_inliers + n_outliers, 2))
+    dst = apply_transform(mat, src)
+    if noise:
+        dst = dst + rng.normal(0, noise, dst.shape)
+    if n_outliers:
+        dst[n_inliers:] = rng.uniform(0, 100, (n_outliers, 2))
+    return src, dst, mat
+
+
+class TestRansacHomography:
+    def test_clean_data(self, ctx, rng):
+        src, dst, mat = make_correspondences(rng)
+        result = ransac_homography(src, dst, ctx, rng)
+        assert result.num_inliers == 30
+        assert np.allclose(result.model, mat, atol=1e-5)
+
+    def test_rejects_outliers(self, ctx, rng):
+        src, dst, mat = make_correspondences(rng, n_inliers=30, n_outliers=15)
+        result = ransac_homography(src, dst, ctx, rng)
+        assert result.num_inliers >= 28
+        assert not result.inlier_mask[30:].any() or result.inlier_mask[30:].sum() <= 2
+        assert np.allclose(result.model, mat, atol=1e-3)
+
+    def test_noise_tolerance(self, ctx, rng):
+        src, dst, mat = make_correspondences(rng, noise=0.5)
+        result = ransac_homography(src, dst, ctx, rng, inlier_threshold=3.0)
+        assert result.num_inliers >= 25
+
+    def test_insufficient_points(self, ctx, rng):
+        src = rng.uniform(0, 100, (5, 2))
+        with pytest.raises(InsufficientMatchesError):
+            ransac_homography(src, src, ctx, rng, min_inliers=8)
+
+    def test_pure_noise_fails(self, ctx, rng):
+        src = rng.uniform(0, 100, (40, 2))
+        dst = rng.uniform(0, 100, (40, 2))
+        with pytest.raises(InsufficientMatchesError):
+            ransac_homography(src, dst, ctx, rng, min_inliers=20)
+
+    def test_adaptive_early_exit(self, ctx, rng):
+        src, dst, _ = make_correspondences(rng, n_inliers=50)
+        result = ransac_homography(src, dst, ctx, rng, max_iterations=512)
+        assert result.iterations < 128
+
+    def test_corrupted_budget_hangs(self, rng):
+        """A control-register flip inflating the budget must trip the watchdog."""
+        src, dst, _ = make_correspondences(rng, n_inliers=12, n_outliers=30)
+
+        class BudgetCorruptor:
+            observing = True
+
+            def visit(self, ctx, window):
+                for binding in window.bindings:
+                    if binding.name == "ransac_budget" and hasattr(binding, "cell"):
+                        binding.cell.value = 1 << 40
+
+        ctx = ExecutionContext(injector=BudgetCorruptor(), watchdog_cycles=3_000_000)
+        with pytest.raises((HangDetected, InsufficientMatchesError)):
+            # Outlier-heavy data keeps the consensus low so the loop
+            # cannot terminate early; the watchdog must fire.
+            ransac_homography(src, dst, ctx, rng, min_inliers=40)
+
+
+class TestRansacAffine:
+    def test_clean_affine(self, ctx, rng):
+        mat = translation(3, 4) @ rotation(0.2)
+        src = rng.uniform(0, 100, (20, 2))
+        dst = apply_transform(mat, src)
+        result = ransac_affine(src, dst, ctx, rng)
+        assert result.num_inliers == 20
+        assert np.allclose(result.model, mat, atol=1e-6)
+
+    def test_fewer_points_than_homography_needs(self, ctx, rng):
+        mat = translation(3, 4)
+        src = rng.uniform(0, 100, (6, 2))
+        dst = apply_transform(mat, src)
+        result = ransac_affine(src, dst, ctx, rng, min_inliers=5)
+        assert result.num_inliers == 6
+
+    def test_outlier_rejection(self, ctx, rng):
+        mat = translation(3, 4) @ rotation(0.1)
+        src = rng.uniform(0, 100, (30, 2))
+        dst = apply_transform(mat, src)
+        dst[25:] += 50.0
+        result = ransac_affine(src, dst, ctx, rng)
+        assert result.num_inliers >= 24
+        assert result.inlier_mask[:25].sum() >= 24
+
+    def test_insufficient(self, ctx, rng):
+        src = rng.uniform(0, 100, (2, 2))
+        with pytest.raises(InsufficientMatchesError):
+            ransac_affine(src, src, ctx, rng)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        gen = np.random.default_rng(3)
+        src, dst, _ = make_correspondences(gen, n_inliers=25, n_outliers=10)
+        results = []
+        for _ in range(2):
+            ctx = ExecutionContext()
+            rng = np.random.default_rng(77)
+            results.append(ransac_homography(src, dst, ctx, rng))
+        assert np.array_equal(results[0].model, results[1].model)
+        assert np.array_equal(results[0].inlier_mask, results[1].inlier_mask)

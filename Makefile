@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium examples clean
+.PHONY: install test bench bench-medium bench-campaign examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ bench:
 
 bench-medium:
 	REPRO_SCALE=medium $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Times the tracked campaign serial vs parallel and appends the result
+# to BENCH_campaign.json. REPRO_BENCH_SCALE / REPRO_BENCH_WORKERS tune it.
+bench-campaign:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_campaign.py -q -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

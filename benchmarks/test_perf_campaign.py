@@ -1,0 +1,125 @@
+"""Perf-tracking harness for the campaign engine.
+
+Times one fixed fault-injection campaign serially and in parallel, then
+appends a machine-readable entry to ``BENCH_campaign.json`` at the repo
+root, so every PR leaves a perf trajectory future PRs can compare
+against.
+
+Run via ``make bench-campaign`` or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_campaign.py -q -s
+
+Knobs (environment):
+
+* ``REPRO_BENCH_SCALE``   — ``tiny`` (default) / ``quick`` / ``medium``.
+* ``REPRO_BENCH_WORKERS`` — parallel worker count (default 4).
+* ``REPRO_BENCH_OUT``     — output JSON path (default ``BENCH_campaign.json``).
+
+Speedup is bounded by the cores the machine actually grants
+(``cpu_count`` is recorded with every entry for exactly that reason).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.analysis.experiments import _SCALES, input_stream, vs_workload
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.parallel import VSWorkloadSpec
+from repro.faultinject.registers import RegKind
+from repro.summarize.approximations import config_for
+from repro.summarize.golden import golden_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The fixed campaign cell being tracked: Fig. 10's (input1, VS, GPR).
+BENCH_SEED = 10
+
+
+def _bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower()
+    return _SCALES[name]
+
+
+def _bench_workers() -> int:
+    return max(2, int(os.environ.get("REPRO_BENCH_WORKERS", "4")))
+
+
+def _out_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT / "BENCH_campaign.json"))
+
+
+def _time_campaign(stream, config, golden, n_injections, workers, spec):
+    start = time.perf_counter()
+    campaign = run_campaign(
+        vs_workload(stream, config),
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(
+            n_injections=n_injections,
+            kind=RegKind.GPR,
+            seed=BENCH_SEED,
+            keep_sdc_outputs=False,
+            workers=workers,
+        ),
+        spec=spec,
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, campaign
+
+
+def append_entry(path: Path, entry: dict) -> None:
+    """Append one timing entry to the JSON trajectory file."""
+    entries = []
+    if path.exists():
+        entries = json.loads(path.read_text())
+    entries.append(entry)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def test_campaign_perf_trajectory():
+    """Time the tracked campaign serial vs parallel and record both."""
+    scale = _bench_scale()
+    workers = _bench_workers()
+    config = config_for("VS")
+    stream = input_stream("input1", scale)
+    golden = golden_run(stream, config)
+    spec = VSWorkloadSpec.for_stream(stream, config)
+    assert spec is not None
+
+    serial_s, serial = _time_campaign(
+        stream, config, golden, scale.injections, workers=1, spec=None
+    )
+    parallel_s, parallel = _time_campaign(
+        stream, config, golden, scale.injections, workers=workers, spec=spec
+    )
+
+    # The perf harness doubles as an equivalence check.
+    assert serial.counts == parallel.counts
+    assert serial.running == parallel.running
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "figure": "fig10-cell(input1,VS,GPR)",
+        "scale": scale.name,
+        "n_injections": scale.injections,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    append_entry(_out_path(), entry)
+    print(
+        f"\n[bench] {scale.name} campaign ({scale.injections} injections): "
+        f"serial {serial_s:.2f}s, parallel({workers}w) {parallel_s:.2f}s, "
+        f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
+        f"-> {_out_path()}"
+    )

@@ -20,6 +20,7 @@ from repro.analysis.convergence import coverage_uniformity, knee_point
 from repro.analysis.hot import HotFunctionStudy, run_hot_function_study
 from repro.faultinject.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.faultinject.outcomes import OutcomeCounts
+from repro.faultinject.parallel import VSWorkloadSpec
 from repro.faultinject.registers import RegKind
 from repro.perfmodel.energy import PerfEstimate, estimate_from_profile
 from repro.perfmodel.profile import ProfileLine, execution_profile, hot_function_fraction
@@ -30,7 +31,7 @@ from repro.summarize.config import VSConfig
 from repro.summarize.golden import GoldenRun, golden_run
 from repro.summarize.pipeline import run_vs
 from repro.video.frames import FrameStream
-from repro.video.synthetic import make_input
+from repro.video.synthetic import cached_input
 
 #: The paper's algorithm order.
 ALGORITHMS = list(ALGORITHM_FACTORIES)
@@ -68,17 +69,9 @@ def scale_from_env(default: str = "quick") -> Scale:
     return _SCALES[name]
 
 
-_STREAM_CACHE: dict[tuple[str, int, tuple[int, int]], FrameStream] = {}
-
-
 def input_stream(which: str, scale: Scale) -> FrameStream:
     """The (cached) synthetic stand-in for one of the paper's inputs."""
-    key = (which, scale.n_frames, scale.frame_size)
-    if key not in _STREAM_CACHE:
-        _STREAM_CACHE[key] = make_input(
-            which, n_frames=scale.n_frames, frame_size=scale.frame_size
-        )
-    return _STREAM_CACHE[key]
+    return cached_input(which, n_frames=scale.n_frames, frame_size=scale.frame_size)
 
 
 def vs_workload(stream: FrameStream, config: VSConfig):
@@ -226,7 +219,7 @@ class CoverageStudy:
     bit_cv: float
 
 
-def fig09_coverage(scale: Scale, seed: int = 9) -> CoverageStudy:
+def fig09_coverage(scale: Scale, seed: int = 9, workers: int | None = None) -> CoverageStudy:
     """Reproduce Fig. 9 on the baseline VS algorithm, Input 1, GPRs."""
     stream = input_stream("input1", scale)
     config = config_for("VS")
@@ -240,7 +233,9 @@ def fig09_coverage(scale: Scale, seed: int = 9) -> CoverageStudy:
             kind=RegKind.GPR,
             seed=seed,
             keep_sdc_outputs=False,
+            workers=workers,
         ),
+        spec=VSWorkloadSpec.for_stream(stream, config),
     )
     return CoverageStudy(
         campaign=campaign,
@@ -270,7 +265,9 @@ class ResiliencyCell:
         return self.counts.rates()
 
 
-def fig10_resiliency(scale: Scale, seed: int = 10) -> list[ResiliencyCell]:
+def fig10_resiliency(
+    scale: Scale, seed: int = 10, workers: int | None = None
+) -> list[ResiliencyCell]:
     """Reproduce Fig. 10: VS outcome rates for GPR and FPR injections."""
     cells = []
     config = config_for("VS")
@@ -287,7 +284,9 @@ def fig10_resiliency(scale: Scale, seed: int = 10) -> list[ResiliencyCell]:
                     kind=kind,
                     seed=seed + (0 if kind is RegKind.GPR else 1),
                     keep_sdc_outputs=False,
+                    workers=workers,
                 ),
+                spec=VSWorkloadSpec.for_stream(stream, config),
             )
             cells.append(
                 ResiliencyCell(
@@ -306,7 +305,9 @@ def fig10_resiliency(scale: Scale, seed: int = 10) -> list[ResiliencyCell]:
 # ---------------------------------------------------------------------------
 
 
-def fig11a_approx_resiliency(scale: Scale, seed: int = 11) -> list[ResiliencyCell]:
+def fig11a_approx_resiliency(
+    scale: Scale, seed: int = 11, workers: int | None = None
+) -> list[ResiliencyCell]:
     """Reproduce Fig. 11a: GPR outcome rates for all four algorithms."""
     cells = []
     for input_name in INPUTS:
@@ -323,7 +324,9 @@ def fig11a_approx_resiliency(scale: Scale, seed: int = 11) -> list[ResiliencyCel
                     kind=RegKind.GPR,
                     seed=seed + offset,
                     keep_sdc_outputs=False,
+                    workers=workers,
                 ),
+                spec=VSWorkloadSpec.for_stream(stream, config),
             )
             cells.append(
                 ResiliencyCell(
@@ -342,7 +345,9 @@ def fig11a_approx_resiliency(scale: Scale, seed: int = 11) -> list[ResiliencyCel
 # ---------------------------------------------------------------------------
 
 
-def fig11b_hot_function(scale: Scale, seed: int = 100) -> HotFunctionStudy:
+def fig11b_hot_function(
+    scale: Scale, seed: int = 100, workers: int | None = None
+) -> HotFunctionStudy:
     """Reproduce Fig. 11b with the baseline VS config.
 
     Runs on Input 2: its high inter-frame redundancy maximizes the
@@ -351,7 +356,11 @@ def fig11b_hot_function(scale: Scale, seed: int = 100) -> HotFunctionStudy:
     """
     stream = input_stream("input2", scale)
     return run_hot_function_study(
-        stream, config_for("VS"), n_injections=scale.hot_injections, seed=seed
+        stream,
+        config_for("VS"),
+        n_injections=scale.hot_injections,
+        seed=seed,
+        workers=workers,
     )
 
 
@@ -370,7 +379,9 @@ class SDCQualityStudy:
     sdc_counts: dict[str, int]
 
 
-def fig12_sdc_quality(scale: Scale, seed: int = 12) -> list[SDCQualityStudy]:
+def fig12_sdc_quality(
+    scale: Scale, seed: int = 12, workers: int | None = None
+) -> list[SDCQualityStudy]:
     """Reproduce Fig. 12: ED distribution of SDCs per algorithm and input."""
     studies = []
     for input_name in INPUTS:
@@ -391,7 +402,9 @@ def fig12_sdc_quality(scale: Scale, seed: int = 12) -> list[SDCQualityStudy]:
                     kind=RegKind.GPR,
                     seed=seed + offset,
                     keep_sdc_outputs=True,
+                    workers=workers,
                 ),
+                spec=VSWorkloadSpec.for_stream(stream, config),
             )
             vs_qualities: list[SDCQuality] = []
             approx_qualities: list[SDCQuality] = []

@@ -21,7 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faultinject.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.faultinject.monitor import Workload
 from repro.faultinject.outcomes import OutcomeCounts
+from repro.faultinject.parallel import VSWorkloadSpec
 from repro.faultinject.registers import RegKind
 from repro.imaging.geometry import rotation, translation
 from repro.imaging.warp import warp_perspective
@@ -56,6 +58,43 @@ def make_wp_workload(image: np.ndarray, transform: np.ndarray, out_shape: tuple[
     return workload
 
 
+@dataclass(frozen=True)
+class WPWorkloadSpec:
+    """Picklable spec rebuilding the standalone WP toy benchmark.
+
+    Mirrors :class:`repro.faultinject.parallel.VSWorkloadSpec` for the
+    hot-function study's second half: workers regenerate the input
+    stream, take its first frame and the representative transform, and
+    recompute the (cheap) WP golden run locally instead of having it
+    shipped with every task.
+    """
+
+    input_name: str
+    n_frames: int
+    frame_size: tuple[int, int]  # (w, h), as make_input expects
+
+    @staticmethod
+    def for_stream(stream) -> "WPWorkloadSpec | None":
+        """Build a spec for ``stream`` if it is a reconstructible input."""
+        if stream.name not in ("input1", "input2") or len(stream) == 0:
+            return None
+        frame_h, frame_w = stream.frame_shape
+        return WPWorkloadSpec(stream.name, len(stream), (frame_w, frame_h))
+
+    def build(self) -> tuple[Workload, np.ndarray, int]:
+        """Rebuild the WP workload and its golden run."""
+        from repro.video.synthetic import cached_input
+
+        stream = cached_input(self.input_name, n_frames=self.n_frames, frame_size=self.frame_size)
+        frame = stream[0].copy()
+        transform = wp_transform(stream.frame_shape)
+        frame_h, frame_w = stream.frame_shape
+        workload = make_wp_workload(frame, transform, (frame_h * 2, frame_w * 2))
+        ctx = ExecutionContext()
+        golden = workload(ctx)
+        return workload, golden, ctx.cycles
+
+
 @dataclass
 class HotFunctionStudy:
     """Fig. 11b: outcome rates for warp-targeted injections, VS vs WP."""
@@ -77,6 +116,7 @@ def run_hot_function_study(
     config: VSConfig,
     n_injections: int,
     seed: int = 100,
+    workers: int | None = None,
 ) -> HotFunctionStudy:
     """Run both halves of the Fig. 11b comparison (GPR injections)."""
     golden = golden_run(stream, config)
@@ -94,7 +134,9 @@ def run_hot_function_study(
             seed=seed,
             site_filter=WARP_SITE_PREFIX,
             keep_sdc_outputs=False,
+            workers=workers,
         ),
+        spec=VSWorkloadSpec.for_stream(stream, config),
     )
 
     frame = stream[0].copy()
@@ -115,7 +157,9 @@ def run_hot_function_study(
             seed=seed + 1,
             site_filter=WARP_SITE_PREFIX,
             keep_sdc_outputs=False,
+            workers=workers,
         ),
+        spec=WPWorkloadSpec.for_stream(stream),
     )
 
     return HotFunctionStudy(

@@ -20,6 +20,7 @@ import numpy as np
 from repro.analysis.experiments import scale_from_env
 from repro.analysis.reporting import campaign_to_dict, save_json
 from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.parallel import VSWorkloadSpec, default_workers
 from repro.faultinject.registers import RegKind
 from repro.imaging.io import save_pgm
 from repro.runtime.context import ExecutionContext
@@ -27,6 +28,13 @@ from repro.summarize.approximations import ALGORITHM_FACTORIES, config_for
 from repro.summarize.golden import golden_run
 from repro.summarize.pipeline import run_vs
 from repro.video.synthetic import make_event_input, make_input
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {raw!r}")
+    return value
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
@@ -69,16 +77,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return run_vs(stream, config, ctx).panorama
 
     kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
+    workers = args.workers if args.workers else default_workers()
     campaign = run_campaign(
         workload,
         golden.output,
         golden.total_cycles,
         CampaignConfig(
-            n_injections=args.n, kind=kind, seed=args.seed, keep_sdc_outputs=False
+            n_injections=args.n,
+            kind=kind,
+            seed=args.seed,
+            keep_sdc_outputs=False,
+            workers=workers,
         ),
+        spec=VSWorkloadSpec.for_stream(stream, config),
     )
     counts = campaign.counts
-    print(f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections:")
+    print(
+        f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections "
+        f"({workers} worker{'s' if workers != 1 else ''}):"
+    )
     for name, rate in counts.rates().items():
         print(f"  {name:6s} {rate:7.2%}")
     if counts.crash:
@@ -131,7 +148,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "fig12": experiments.fig12_sdc_quality,
         "fig13": experiments.fig13_diff_visualization,
     }
-    result = entry_points[args.figure](scale)
+    #: Campaign-running figures accept a worker count; the rest are
+    #: golden-run-only and always execute in-process.
+    campaign_figures = {"fig09", "fig10", "fig11a", "fig11b", "fig12"}
+    if args.figure in campaign_figures:
+        workers = args.workers if args.workers else default_workers()
+        result = entry_points[args.figure](scale, workers=workers)
+    else:
+        result = entry_points[args.figure](scale)
     print(f"{args.figure} at scale {scale.name}: done")
     # Structured results print compactly via their dataclass reprs.
     if isinstance(result, list):
@@ -194,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("-n", type=int, default=100, help="injections")
     p_camp.add_argument("--kind", default="gpr", choices=["gpr", "fpr"])
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
     p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
     p_camp.set_defaults(func=cmd_campaign)
 
@@ -212,6 +242,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fig05", "fig06", "fig08", "fig09", "fig10", "fig11a", "fig11b", "fig12", "fig13"],
     )
     p_exp.add_argument("--scale", default="tiny", choices=["tiny", "quick", "medium", "paper"])
+    p_exp.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for campaign figures "
+        "(default: REPRO_WORKERS or the CPU count)",
+    )
     p_exp.set_defaults(func=cmd_experiment)
 
     p_prot = subparsers.add_parser("protect", help="plan selective protection")

@@ -20,6 +20,11 @@ import numpy as np
 from repro.faultinject.injector import InjectionPlan, random_plan
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 from repro.faultinject.outcomes import OutcomeCounts, RunningRates
+from repro.faultinject.parallel import (
+    WorkloadSpec,
+    execute_plans_parallel,
+    resolve_workers,
+)
 from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, LivenessModel, RegKind
 
 
@@ -34,6 +39,11 @@ class CampaignConfig:
     site_filter: str | None = None
     keep_sdc_outputs: bool = True
     liveness: LivenessModel = field(default_factory=LivenessModel)
+    #: Worker processes to shard the campaign across.  ``None`` defers
+    #: to the ``REPRO_WORKERS`` environment variable (default 1 = the
+    #: serial path).  Values above 1 take effect only when the caller
+    #: supplies a picklable workload spec (see ``run_campaign``).
+    workers: int | None = None
 
 
 @dataclass
@@ -46,6 +56,10 @@ class CampaignResult:
     results: list[InjectionResult]
     register_histogram: np.ndarray  # (NUM_REGISTERS,) injections per register
     bit_histogram: np.ndarray  # (REGISTER_BITS,) injections per bit
+    #: Fired-and-in-study counts, tallied incrementally during the run
+    #: so the full ``results`` list never has to be re-walked (and could
+    #: in principle be dropped for huge campaigns).
+    fired: OutcomeCounts | None = None
 
     @property
     def sdc_results(self) -> list[InjectionResult]:
@@ -63,6 +77,8 @@ class CampaignResult:
         experiments that injected into the functions of interest, as the
         paper's AFI configuration does (Section V-C).
         """
+        if self.fired is not None:
+            return self.fired
         counts = OutcomeCounts()
         for result in self.results:
             if result.record.fired and result.record.in_study:
@@ -70,43 +86,39 @@ class CampaignResult:
         return counts
 
 
-def run_campaign(
-    workload: Workload,
-    golden_output: np.ndarray,
-    golden_cycles: int,
-    config: CampaignConfig,
-) -> CampaignResult:
-    """Run a full statistical injection campaign.
+def draw_plans(config: CampaignConfig, golden_cycles: int) -> list[InjectionPlan]:
+    """Draw the campaign's full plan sequence from its seed.
 
-    Fully deterministic given ``config.seed``: plans are drawn from a
-    seeded generator and each run's injector RNG is derived from it.
+    Serial and parallel execution share this single, ordered draw, which
+    is what makes their results bit-identical.
     """
-    monitor = FaultMonitor(
-        workload,
-        golden_output,
-        golden_cycles,
-        hang_factor=config.hang_factor,
-        liveness=config.liveness,
-        site_filter=config.site_filter,
-        keep_sdc_outputs=config.keep_sdc_outputs,
-    )
     plan_rng = np.random.default_rng(config.seed)
+    return [
+        random_plan(plan_rng, golden_cycles, config.kind)
+        for _ in range(config.n_injections)
+    ]
+
+
+def assemble_campaign(
+    config: CampaignConfig, results: list[InjectionResult]
+) -> CampaignResult:
+    """Fold ordered per-run results into campaign statistics."""
     counts = OutcomeCounts()
+    fired = OutcomeCounts()
     running = RunningRates()
-    results: list[InjectionResult] = []
     register_histogram = np.zeros(NUM_REGISTERS, dtype=np.int64)
     bit_histogram = np.zeros(REGISTER_BITS, dtype=np.int64)
-
-    for index in range(config.n_injections):
-        plan: InjectionPlan = random_plan(plan_rng, golden_cycles, config.kind)
-        run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
-        result = monitor.run_injected(plan, run_rng)
-        results.append(result)
+    for result in results:
         counts.add(result.outcome, result.crash_kind)
         running.record(counts)
-        register_histogram[plan.register] += 1
-        bit_histogram[plan.bit] += 1
-
+        if result.record.fired and result.record.in_study:
+            fired.add(result.outcome, result.crash_kind)
+        register_histogram[result.plan.register] += 1
+        bit_histogram[result.plan.bit] += 1
+        if not config.keep_sdc_outputs:
+            # Drop any corrupted-output payload eagerly; nothing
+            # downstream may rely on it when retention is off.
+            result.output = None
     return CampaignResult(
         config=config,
         counts=counts,
@@ -114,4 +126,46 @@ def run_campaign(
         results=results,
         register_histogram=register_histogram,
         bit_histogram=bit_histogram,
+        fired=fired,
     )
+
+
+def run_campaign(
+    workload: Workload,
+    golden_output: np.ndarray,
+    golden_cycles: int,
+    config: CampaignConfig,
+    spec: WorkloadSpec | None = None,
+) -> CampaignResult:
+    """Run a full statistical injection campaign.
+
+    Fully deterministic given ``config.seed``: plans are drawn from a
+    seeded generator and each run's injector RNG is derived from it.
+
+    When ``spec`` (a picklable recipe that rebuilds the workload, see
+    :mod:`repro.faultinject.parallel`) is given and the resolved worker
+    count exceeds 1, injections are sharded across a process pool and
+    reassembled in order — the result is bit-identical to the serial
+    path regardless of the worker count.
+    """
+    workers = resolve_workers(config.workers)
+    plans = draw_plans(config, golden_cycles)
+
+    if spec is not None and workers > 1 and config.n_injections > 1:
+        results = execute_plans_parallel(spec, config, plans, workers)
+    else:
+        monitor = FaultMonitor(
+            workload,
+            golden_output,
+            golden_cycles,
+            hang_factor=config.hang_factor,
+            liveness=config.liveness,
+            site_filter=config.site_filter,
+            keep_sdc_outputs=config.keep_sdc_outputs,
+        )
+        results = []
+        for index, plan in enumerate(plans):
+            run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
+            results.append(monitor.run_injected(plan, run_rng))
+
+    return assemble_campaign(config, results)

@@ -1,0 +1,233 @@
+"""Parallel campaign execution: shard injections across worker processes.
+
+Injection runs are embarrassingly parallel — each run derives its own
+RNG from ``(seed, index)`` and shares nothing with its neighbours except
+the (read-only) golden reference — so a campaign's wall clock scales
+with available cores.  The engine here keeps the serial path's exact
+semantics:
+
+* the plan sequence is drawn **once, in order**, from the campaign seed
+  in the parent process (workers never touch the plan RNG),
+* each run's injector RNG is the same ``(seed, index)`` derivation the
+  serial loop uses,
+* results are reassembled **in injection order** before statistics are
+  computed, so counts, running-rate trends, histograms and SDC outputs
+  are bit-identical to ``workers=1``.
+
+Because workloads are closures over in-process state (frame streams,
+golden outputs), they cannot be pickled to workers.  Instead a small
+picklable :class:`WorkloadSpec` describes how to *rebuild* the workload
+— workers reconstruct it once per process and cache it, so golden
+outputs are shared via the spec rather than shipped with every task.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.faultinject.injector import InjectionPlan
+from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faultinject.campaign import CampaignConfig
+
+#: Environment variable overriding the worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Task chunks dispatched per worker (load-balancing granularity).
+CHUNKS_PER_WORKER = 4
+
+
+@runtime_checkable
+class WorkloadSpec(Protocol):
+    """A picklable recipe for rebuilding a workload in a worker process.
+
+    Implementations must be hashable (they key the per-process cache)
+    and cheap to pickle; ``build`` may be expensive — it runs once per
+    worker process and its result is cached.
+    """
+
+    def build(self) -> tuple[Workload, np.ndarray, int]:
+        """Return ``(workload, golden_output, golden_cycles)``."""
+        ...
+
+
+@dataclass(frozen=True)
+class VSWorkloadSpec:
+    """Spec for the VS pipeline on one synthetic input at one scale."""
+
+    input_name: str
+    config: "object"  # VSConfig; kept loose to avoid a summarize import here
+    n_frames: int
+    frame_size: tuple[int, int]  # (w, h), as make_input expects
+
+    @staticmethod
+    def for_stream(stream, config) -> "VSWorkloadSpec | None":
+        """Build a spec for ``stream`` if it is a reconstructible input.
+
+        Returns ``None`` for streams that ``make_input`` cannot
+        regenerate (custom or transformed streams), in which case the
+        campaign falls back to serial execution.
+        """
+        if stream.name not in ("input1", "input2") or len(stream) == 0:
+            return None
+        frame_h, frame_w = stream.frame_shape
+        return VSWorkloadSpec(
+            input_name=stream.name,
+            config=config,
+            n_frames=len(stream),
+            frame_size=(frame_w, frame_h),
+        )
+
+    def build(self) -> tuple[Workload, np.ndarray, int]:
+        """Rebuild the stream, golden run and workload closure."""
+        from repro.summarize.golden import golden_run
+        from repro.summarize.pipeline import run_vs
+        from repro.video.synthetic import cached_input
+
+        stream = cached_input(self.input_name, n_frames=self.n_frames, frame_size=self.frame_size)
+        golden = golden_run(stream, self.config)
+        config = self.config
+
+        def workload(ctx) -> np.ndarray:
+            return run_vs(stream, config, ctx).panorama
+
+        return workload, golden.output, golden.total_cycles
+
+
+def resolve_workers(requested: int | None = None) -> int:
+    """Resolve an explicit or configured worker count.
+
+    An explicit positive ``requested`` wins; otherwise ``REPRO_WORKERS``
+    from the environment; otherwise 1 (the conservative library default
+    — entry points that want machine-wide fan-out use
+    :func:`default_workers`).
+    """
+    if requested is not None and requested > 0:
+        return int(requested)
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+    return 1
+
+
+def default_workers() -> int:
+    """The cpu-count-aware default for CLI/bench fan-out."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-process cache: spec -> (workload, golden_output, golden_cycles).
+#: Shared by all chunks a worker executes, so the golden output is
+#: materialized once per process, not once per task.
+_WORKER_STATE: dict[WorkloadSpec, tuple[Workload, np.ndarray, int]] = {}
+
+
+def _workload_state(spec: WorkloadSpec) -> tuple[Workload, np.ndarray, int]:
+    state = _WORKER_STATE.get(spec)
+    if state is None:
+        state = spec.build()
+        _WORKER_STATE[spec] = state
+    return state
+
+
+def run_injection_chunk(
+    spec: WorkloadSpec,
+    config: "CampaignConfig",
+    chunk: list[tuple[int, InjectionPlan]],
+) -> list[InjectionResult]:
+    """Execute one chunk of ``(index, plan)`` pairs in this process.
+
+    The module-level entry point workers import; also usable in-process
+    (the serial path and the tests go through the same code).
+    """
+    workload, golden_output, golden_cycles = _workload_state(spec)
+    monitor = FaultMonitor(
+        workload,
+        golden_output,
+        golden_cycles,
+        hang_factor=config.hang_factor,
+        liveness=config.liveness,
+        site_filter=config.site_filter,
+        keep_sdc_outputs=config.keep_sdc_outputs,
+    )
+    results = []
+    for index, plan in chunk:
+        run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
+        results.append(monitor.run_injected(plan, run_rng))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+def chunk_indexed_plans(
+    plans: list[InjectionPlan], workers: int
+) -> list[list[tuple[int, InjectionPlan]]]:
+    """Split the plan list into order-preserving contiguous chunks."""
+    indexed = list(enumerate(plans))
+    if not indexed:
+        return []
+    n_chunks = min(len(indexed), max(1, workers) * CHUNKS_PER_WORKER)
+    bounds = np.linspace(0, len(indexed), n_chunks + 1).astype(int)
+    return [
+        indexed[start:stop]
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+
+
+def execute_plans_parallel(
+    spec: WorkloadSpec,
+    config: "CampaignConfig",
+    plans: list[InjectionPlan],
+    workers: int,
+) -> list[InjectionResult]:
+    """Run all plans across a process pool, in injection order.
+
+    Worker crashes (a dead process, not a classified workload outcome)
+    surface as a ``RuntimeError`` rather than a hang; workload
+    exceptions that the monitor does not classify propagate unchanged.
+    """
+    chunks = chunk_indexed_plans(plans, workers)
+    if not chunks:
+        return []
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(
+                pool.map(
+                    run_injection_chunk,
+                    [spec] * len(chunks),
+                    [config] * len(chunks),
+                    chunks,
+                )
+            )
+    except BrokenProcessPool as exc:
+        raise RuntimeError(
+            "campaign worker process died unexpectedly; re-run with workers=1 "
+            "to reproduce the failure in-process"
+        ) from exc
+    results: list[InjectionResult] = []
+    for chunk_result in chunk_results:
+        results.extend(chunk_result)
+    return results

@@ -9,7 +9,13 @@ from repro.summarize.approximations import (
     sm_config,
 )
 from repro.summarize.config import VSConfig
-from repro.summarize.golden import GoldenRun, clear_golden_cache, golden_run
+from repro.summarize.golden import (
+    GoldenCacheStats,
+    GoldenRun,
+    clear_golden_cache,
+    golden_cache_stats,
+    golden_run,
+)
 from repro.summarize.pipeline import FrameOutcome, VSResult, run_vs
 from repro.summarize.stitcher import (
     MiniPanorama,
@@ -38,4 +44,6 @@ __all__ = [
     "GoldenRun",
     "golden_run",
     "clear_golden_cache",
+    "golden_cache_stats",
+    "GoldenCacheStats",
 ]

@@ -31,15 +31,38 @@ class GoldenRun:
     profile: CostProfile
 
 
-_CACHE: dict[tuple[str, str, int], GoldenRun] = {}
+@dataclass
+class GoldenCacheStats:
+    """Counters for golden-run cache effectiveness (tests assert on
+    ``computes`` to prove figure entry points share golden runs)."""
+
+    computes: int = 0
+    hits: int = 0
+
+
+_CACHE: dict[tuple, GoldenRun] = {}
+_STATS = GoldenCacheStats()
+
+
+def _cache_key(stream: FrameStream, config: VSConfig) -> tuple:
+    """Cache key: the full ``(input, algorithm, scale)`` identity.
+
+    The stream's length and frame shape are part of the key because the
+    same named input exists at several experiment scales — keying on the
+    name alone would silently serve a golden run from the wrong scale.
+    """
+    shape = stream.frame_shape if len(stream) else (0, 0)
+    return (stream.name, len(stream), shape, config.name, hash(config))
 
 
 def golden_run(stream: FrameStream, config: VSConfig, use_cache: bool = True) -> GoldenRun:
     """Run (or fetch) the golden execution for ``(config, stream)``."""
-    key = (config.name, stream.name, hash(config))
+    key = _cache_key(stream, config)
     if use_cache and key in _CACHE:
+        _STATS.hits += 1
         return _CACHE[key]
 
+    _STATS.computes += 1
     profile = CostProfile()
     ctx = ExecutionContext(profile=profile)
     result = run_vs(stream, config, ctx)
@@ -56,6 +79,13 @@ def golden_run(stream: FrameStream, config: VSConfig, use_cache: bool = True) ->
     return run
 
 
+def golden_cache_stats() -> GoldenCacheStats:
+    """The process-wide cache counters (reset by ``clear_golden_cache``)."""
+    return _STATS
+
+
 def clear_golden_cache() -> None:
-    """Drop all cached golden runs (tests use this for isolation)."""
+    """Drop all cached golden runs and reset the counters (test isolation)."""
     _CACHE.clear()
+    _STATS.computes = 0
+    _STATS.hits = 0

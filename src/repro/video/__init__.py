@@ -7,6 +7,7 @@ from repro.video.synthetic import (
     DEFAULT_FRAME_SIZE,
     DEFAULT_NUM_FRAMES,
     EventInput,
+    cached_input,
     make_event_input,
     make_input,
     make_input1,
@@ -24,6 +25,7 @@ __all__ = [
     "make_landscape",
     "value_noise",
     "make_input",
+    "cached_input",
     "make_input1",
     "make_input2",
     "EventInput",

@@ -84,6 +84,25 @@ def make_input(
     raise ValueError(f"unknown input {which!r}; expected 'input1' or 'input2'")
 
 
+_INPUT_CACHE: dict[tuple[str, int, tuple[int, int]], FrameStream] = {}
+
+
+def cached_input(
+    which: str,
+    n_frames: int = DEFAULT_NUM_FRAMES,
+    frame_size: tuple[int, int] = DEFAULT_FRAME_SIZE,
+) -> FrameStream:
+    """A process-wide cached :func:`make_input` (default seeds only).
+
+    Experiments and campaign worker processes share this cache so each
+    named input is rendered at most once per process and scale.
+    """
+    key = (which, n_frames, tuple(frame_size))
+    if key not in _INPUT_CACHE:
+        _INPUT_CACHE[key] = make_input(which, n_frames=n_frames, frame_size=frame_size)
+    return _INPUT_CACHE[key]
+
+
 @dataclass
 class EventInput:
     """A frame stream with planted movers and full ground truth."""

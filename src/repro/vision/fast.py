@@ -58,14 +58,18 @@ def _circle_stack(image_f: np.ndarray) -> np.ndarray:
 def _contiguous_arc(flags: np.ndarray, arc: int) -> np.ndarray:
     """True where any ``arc`` contiguous entries (cyclically) are all set.
 
-    ``flags`` is ``(16, ...)`` boolean.
+    ``flags`` is ``(16, ...)`` boolean.  A window of ``arc`` entries is
+    all-set exactly when its running sum equals ``arc``, so one cumulative
+    sum over the cyclically extended stack replaces the 16 windowed
+    ``all`` reductions.
     """
     wrapped = np.concatenate([flags, flags[: arc - 1]], axis=0)
-    result = np.zeros(flags.shape[1:], dtype=bool)
-    for start in range(16):
-        window = wrapped[start : start + arc]
-        result |= window.all(axis=0)
-    return result
+    counts = np.cumsum(wrapped, axis=0, dtype=np.int16)
+    padded = np.concatenate(
+        [np.zeros((1,) + flags.shape[1:], dtype=np.int16), counts], axis=0
+    )
+    window_sums = padded[arc:] - padded[:-arc]
+    return (window_sums == arc).any(axis=0)
 
 
 def detect_fast(
@@ -131,14 +135,17 @@ def detect_fast(
 
 
 def _nms(score: np.ndarray, radius: int) -> np.ndarray:
-    """Boolean map of local maxima within a ``(2r+1)`` square window."""
+    """Boolean map of local maxima within a ``(2r+1)`` square window.
+
+    The square-window maximum is separable, so two sliding 1-D maxima
+    (rows then columns) replace the O((2r+1)^2) shifted-copy loop.
+    """
     if radius < 1:
         return score > 0
-    padded = np.pad(score, radius, mode="constant", constant_values=-np.inf)
-    best = np.full_like(score, -np.inf)
+    from numpy.lib.stride_tricks import sliding_window_view
+
     size = 2 * radius + 1
-    for dy in range(size):
-        for dx in range(size):
-            neighbour = padded[dy : dy + score.shape[0], dx : dx + score.shape[1]]
-            np.maximum(best, neighbour, out=best)
+    padded = np.pad(score, radius, mode="constant", constant_values=-np.inf)
+    row_max = sliding_window_view(padded, size, axis=1).max(axis=-1)
+    best = sliding_window_view(row_max, size, axis=0).max(axis=-1)
     return (score > 0) & (score >= best)

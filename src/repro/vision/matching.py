@@ -21,11 +21,44 @@ import numpy as np
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
 
-#: Lookup table: popcount of every byte value.
+#: Lookup table: popcount of every byte value (fallback path and tests).
 _POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
 
 #: Rows of the distance matrix computed per checkpoint batch.
 _ROW_BATCH = 32
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0: hardware popcount
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word popcount of a uint64 array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    #: 16-bit lookup table: popcount of every uint16 value.
+    _POPCOUNT16 = (
+        _POPCOUNT[np.arange(65536) & 0xFF] + _POPCOUNT[np.arange(65536) >> 8]
+    ).astype(np.uint8)
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-word popcount via four 16-bit table gathers."""
+        halves = _POPCOUNT16[np.ascontiguousarray(words).view(np.uint16)]
+        return halves.reshape(*words.shape, 4).sum(axis=-1, dtype=np.uint8)
+
+
+def _as_words(descriptors: np.ndarray) -> np.ndarray | None:
+    """View packed uint8 descriptors as uint64 lanes (4 per 32 bytes).
+
+    Returns ``None`` when no zero-copy view exists (odd widths or
+    non-contiguous rows); callers then fall back to the per-byte table.
+    A *view* is required — not a copy — so that in-place corruption of
+    the descriptor tables by the fault injector stays visible.
+    """
+    if descriptors.shape[1] % 8 != 0:
+        return None
+    try:
+        return descriptors.view(np.uint64)
+    except ValueError:
+        return None
 
 
 @dataclass
@@ -61,6 +94,8 @@ def hamming_distance_matrix(
     if n1 == 0 or n2 == 0:
         return np.zeros((n1, n2), dtype=np.int64)
 
+    first_words = _as_words(first)
+    second_words = _as_words(second)
     distances = np.zeros((n1, n2), dtype=np.int64)
     row = Cell(0)
     row_end = Cell(n1)
@@ -90,8 +125,13 @@ def hamming_distance_matrix(
 
         with ctx.scope("vision.matching.hamming"):
             ctx.tick(kernel_cost("match.pair") * (stop - start) * n2)
-            xor = first[start:stop, np.newaxis, :] ^ second[np.newaxis, :, :]
-            distances[start:stop] = _POPCOUNT[xor].sum(axis=2, dtype=np.int64)
+            if first_words is not None and second_words is not None:
+                # 4 uint64 lanes per descriptor instead of 32 byte gathers.
+                xor = first_words[start:stop, np.newaxis, :] ^ second_words[np.newaxis, :, :]
+                distances[start:stop] = _popcount_words(xor).sum(axis=2, dtype=np.int64)
+            else:
+                xor = first[start:stop, np.newaxis, :] ^ second[np.newaxis, :, :]
+                distances[start:stop] = _POPCOUNT[xor].sum(axis=2, dtype=np.int64)
         row.value = stop
 
     return distances

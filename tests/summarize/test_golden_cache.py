@@ -1,0 +1,60 @@
+"""Tests for the process-wide golden-run cache and its counters."""
+
+import pytest
+
+from repro.analysis.experiments import TINY, QUICK, fig06_output_quality, fig13_diff_visualization
+from repro.summarize.approximations import config_for
+from repro.summarize.golden import clear_golden_cache, golden_cache_stats, golden_run
+from repro.video.synthetic import make_input1
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_golden_cache()
+    yield
+    clear_golden_cache()
+
+
+class TestCacheCounters:
+    def test_second_lookup_is_a_hit(self):
+        stream = make_input1(n_frames=8)
+        config = config_for("VS")
+        first = golden_run(stream, config)
+        second = golden_run(stream, config)
+        assert first is second
+        stats = golden_cache_stats()
+        assert stats.computes == 1
+        assert stats.hits == 1
+
+    def test_uncached_path_does_not_populate(self):
+        stream = make_input1(n_frames=8)
+        config = config_for("VS")
+        golden_run(stream, config, use_cache=False)
+        assert golden_cache_stats().computes == 1
+        golden_run(stream, config)
+        assert golden_cache_stats().computes == 2
+
+
+class TestScaleAwareKey:
+    def test_same_input_name_different_scale_does_not_collide(self):
+        """TINY and QUICK both name their stream ``input1``; the cache
+        must key on the stream's actual size, not just its name."""
+        config = config_for("VS")
+        tiny = golden_run(make_input1(n_frames=TINY.n_frames), config)
+        quick = golden_run(make_input1(n_frames=QUICK.n_frames), config)
+        assert golden_cache_stats().computes == 2
+        assert tiny.total_cycles != quick.total_cycles
+
+
+class TestFigureEntryPointsShareGoldens:
+    def test_shared_cells_computed_exactly_once(self):
+        """fig06 and fig13 overlap on the (input, VS) and (input, VS_SM)
+        cells; across both entry points each distinct cell must be
+        computed exactly once (2 inputs x 4 algorithms = 8)."""
+        fig06_output_quality(TINY)
+        computes_after_fig06 = golden_cache_stats().computes
+        assert computes_after_fig06 == 8
+        fig13_diff_visualization(TINY)
+        stats = golden_cache_stats()
+        assert stats.computes == 8  # fig13's four cells were all hits
+        assert stats.hits >= 4

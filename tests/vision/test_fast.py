@@ -92,6 +92,84 @@ class TestNMS:
                 assert max(abs(x1 - x2), abs(y1 - y2)) > 1
 
 
+def _reference_contiguous_arc(flags: np.ndarray, arc: int) -> np.ndarray:
+    """The original windowed-``all`` formulation, kept as the oracle."""
+    wrapped = np.concatenate([flags, flags[: arc - 1]], axis=0)
+    result = np.zeros(flags.shape[1:], dtype=bool)
+    for start in range(16):
+        result |= wrapped[start : start + arc].all(axis=0)
+    return result
+
+
+def _reference_nms(score: np.ndarray, radius: int) -> np.ndarray:
+    """The original O((2r+1)^2) shifted-copy NMS, kept as the oracle."""
+    if radius < 1:
+        return score > 0
+    padded = np.pad(score, radius, mode="constant", constant_values=-np.inf)
+    best = np.full_like(score, -np.inf)
+    size = 2 * radius + 1
+    for dy in range(size):
+        for dx in range(size):
+            neighbour = padded[dy : dy + score.shape[0], dx : dx + score.shape[1]]
+            np.maximum(best, neighbour, out=best)
+    return (score > 0) & (score >= best)
+
+
+class TestVectorizedRewrites:
+    """The cumsum arc test and separable NMS must equal the originals."""
+
+    def test_contiguous_arc_matches_reference(self):
+        from repro.vision.fast import _contiguous_arc
+
+        gen = np.random.default_rng(99)
+        for density in (0.3, 0.6, 0.9):
+            flags = gen.random((16, 25, 35)) < density
+            for arc in (2, 9, 15, 16):
+                assert np.array_equal(
+                    _contiguous_arc(flags, arc), _reference_contiguous_arc(flags, arc)
+                )
+
+    def test_nms_matches_reference(self):
+        from repro.vision.fast import _nms
+
+        gen = np.random.default_rng(123)
+        for _ in range(5):
+            score = np.where(
+                gen.random((33, 47)) < 0.25, gen.random((33, 47)) * 100, 0.0
+            )
+            for radius in (0, 1, 2, 4):
+                assert np.array_equal(_nms(score, radius), _reference_nms(score, radius))
+
+    def test_detect_identical_keypoints_on_random_images(self, ctx):
+        """End-to-end: detection on random images must be unchanged by
+        the rewrites (keypoints re-derived from the reference kernels)."""
+        from repro.vision.fast import ARC_LENGTH, _circle_stack, detect_fast
+
+        gen = np.random.default_rng(7)
+        for trial in range(3):
+            image = (gen.random((48, 64)) * 255).astype(np.uint8)
+            keypoints = detect_fast(image, ctx, threshold=12, nms_radius=1)
+
+            image_f = image.astype(np.float64)
+            h, w = image_f.shape
+            center = image_f[BORDER : h - BORDER, BORDER : w - BORDER]
+            circle = _circle_stack(image_f)
+            brighter = circle > center + 12.0
+            darker = circle < center - 12.0
+            is_corner = _reference_contiguous_arc(
+                brighter, ARC_LENGTH
+            ) | _reference_contiguous_arc(darker, ARC_LENGTH)
+            over = np.maximum(np.abs(circle - center) - 12.0, 0.0)
+            score = np.where(is_corner, over.sum(axis=0), 0.0)
+            keep = _reference_nms(score, 1)
+            ys, xs = np.nonzero(keep)
+            expected = {
+                (int(x) + BORDER, int(y) + BORDER, float(score[y, x]))
+                for x, y in zip(xs, ys)
+            }
+            assert {(kp.x, kp.y, kp.score) for kp in keypoints} == expected
+
+
 class TestKeypointDataclass:
     def test_frozen(self):
         kp = Keypoint(1, 2, 3.0)

@@ -70,6 +70,53 @@ class TestHammingMatrix:
         assert ctx.cycles >= kernel_cost("match.pair") * 10 * 20
 
 
+class TestVectorizedPopcount:
+    """The uint64-lane kernel must agree with the per-byte table exactly."""
+
+    def test_large_random_matches_byte_reference(self, ctx, rng):
+        from repro.vision.matching import _POPCOUNT
+
+        a = rng.integers(0, 256, (70, 32)).astype(np.uint8)
+        b = rng.integers(0, 256, (55, 32)).astype(np.uint8)
+        distances = hamming_distance_matrix(a, b, ctx)
+        reference = _POPCOUNT[a[:, None, :] ^ b[None, :, :]].sum(axis=2, dtype=np.int64)
+        assert np.array_equal(distances, reference)
+
+    def test_non_contiguous_descriptors_fall_back(self, ctx, rng):
+        # Row strides of 2 defeat the uint64 view; the fallback must
+        # produce the same distances as contiguous copies.
+        a = rng.integers(0, 256, (12, 64)).astype(np.uint8)[:, ::2]
+        b = rng.integers(0, 256, (9, 64)).astype(np.uint8)[:, ::2]
+        assert not a.flags["C_CONTIGUOUS"]
+        strided = hamming_distance_matrix(a, b, ctx)
+        from repro.runtime.context import ExecutionContext
+
+        contiguous = hamming_distance_matrix(
+            np.ascontiguousarray(a), np.ascontiguousarray(b), ExecutionContext()
+        )
+        assert np.array_equal(strided, contiguous)
+
+    def test_word_view_shares_memory_with_descriptors(self):
+        # In-place corruption by the fault injector must stay visible
+        # to the vectorized kernel: the view must not be a copy.
+        from repro.vision.matching import _as_words
+
+        desc = np.zeros((3, 32), dtype=np.uint8)
+        words = _as_words(desc)
+        assert words is not None
+        desc[1, 0] = 0xFF
+        assert words[1, 0] == 0xFF
+
+    def test_odd_width_descriptors_fall_back(self, ctx, rng):
+        from repro.vision.matching import _POPCOUNT, _as_words
+
+        a = rng.integers(0, 256, (6, 17)).astype(np.uint8)
+        assert _as_words(a) is None
+        distances = hamming_distance_matrix(a, a, ctx)
+        reference = _POPCOUNT[a[:, None, :] ^ a[None, :, :]].sum(axis=2, dtype=np.int64)
+        assert np.array_equal(distances, reference)
+
+
 class TestRatioMatching:
     def test_finds_planted_matches(self, ctx, rng):
         base = rng.integers(0, 256, (20, 32)).astype(np.uint8)

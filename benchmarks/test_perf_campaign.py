@@ -28,6 +28,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro import telemetry
 from repro.analysis.experiments import _SCALES, input_stream, vs_workload
 from repro.faultinject.campaign import CampaignConfig, run_campaign
 from repro.faultinject.parallel import VSWorkloadSpec
@@ -99,9 +100,22 @@ def test_campaign_perf_trajectory():
         stream, config, golden, scale.injections, workers=workers, spec=spec
     )
 
+    # Same cell again with stage-level tracing on, to track the overhead
+    # of an enabled telemetry layer (disabled overhead is a single global
+    # check per stage and is not separately measurable here).
+    telemetry.enable()
+    try:
+        traced_s, traced = _time_campaign(
+            stream, config, golden, scale.injections, workers=1, spec=None
+        )
+    finally:
+        telemetry.disable()
+
     # The perf harness doubles as an equivalence check.
     assert serial.counts == parallel.counts
     assert serial.running == parallel.running
+    assert serial.counts == traced.counts
+    assert serial.running == traced.running
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -111,7 +125,9 @@ def test_campaign_perf_trajectory():
         "workers": workers,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
+        "traced_s": round(traced_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -120,6 +136,7 @@ def test_campaign_perf_trajectory():
     print(
         f"\n[bench] {scale.name} campaign ({scale.injections} injections): "
         f"serial {serial_s:.2f}s, parallel({workers}w) {parallel_s:.2f}s, "
+        f"traced {traced_s:.2f}s (+{100 * entry['trace_overhead']:.1f}%), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.convergence import coverage_uniformity, knee_point
 from repro.analysis.hot import HotFunctionStudy, run_hot_function_study
 from repro.faultinject.campaign import CampaignConfig, CampaignResult, run_campaign
@@ -100,6 +101,7 @@ class PerfRow:
     normalized_energy: float
 
 
+@telemetry.traced("experiment.fig05")
 def fig05_perf_energy(scale: Scale) -> list[PerfRow]:
     """Reproduce Fig. 5: normalized IPC, time and energy per algorithm."""
     rows: list[PerfRow] = []
@@ -146,6 +148,7 @@ class OutputQualityRow:
     golden: GoldenRun
 
 
+@telemetry.traced("experiment.fig06")
 def fig06_output_quality(scale: Scale) -> list[OutputQualityRow]:
     """Reproduce Fig. 6: approximate outputs compared against VS_golden."""
     rows: list[OutputQualityRow] = []
@@ -185,6 +188,7 @@ class ProfileReport:
     library_fraction: float  # all library buckets (~68% in the paper)
 
 
+@telemetry.traced("experiment.fig08")
 def fig08_profile(scale: Scale) -> list[ProfileReport]:
     """Reproduce Fig. 8: per-function execution-time distribution."""
     from repro.perfmodel.profile import library_fraction
@@ -219,6 +223,7 @@ class CoverageStudy:
     bit_cv: float
 
 
+@telemetry.traced("experiment.fig09")
 def fig09_coverage(scale: Scale, seed: int = 9, workers: int | None = None) -> CoverageStudy:
     """Reproduce Fig. 9 on the baseline VS algorithm, Input 1, GPRs."""
     stream = input_stream("input1", scale)
@@ -265,6 +270,7 @@ class ResiliencyCell:
         return self.counts.rates()
 
 
+@telemetry.traced("experiment.fig10")
 def fig10_resiliency(
     scale: Scale, seed: int = 10, workers: int | None = None
 ) -> list[ResiliencyCell]:
@@ -305,6 +311,7 @@ def fig10_resiliency(
 # ---------------------------------------------------------------------------
 
 
+@telemetry.traced("experiment.fig11a")
 def fig11a_approx_resiliency(
     scale: Scale, seed: int = 11, workers: int | None = None
 ) -> list[ResiliencyCell]:
@@ -345,6 +352,7 @@ def fig11a_approx_resiliency(
 # ---------------------------------------------------------------------------
 
 
+@telemetry.traced("experiment.fig11b")
 def fig11b_hot_function(
     scale: Scale, seed: int = 100, workers: int | None = None
 ) -> HotFunctionStudy:
@@ -379,6 +387,7 @@ class SDCQualityStudy:
     sdc_counts: dict[str, int]
 
 
+@telemetry.traced("experiment.fig12")
 def fig12_sdc_quality(
     scale: Scale, seed: int = 12, workers: int | None = None
 ) -> list[SDCQualityStudy]:
@@ -444,6 +453,7 @@ class DiffVisualization:
     relative_l2_norm: float
 
 
+@telemetry.traced("experiment.fig13")
 def fig13_diff_visualization(scale: Scale, algorithm: str = "VS_SM") -> list[DiffVisualization]:
     """Reproduce Fig. 13: |VS - approx| raw and 128-thresholded diffs."""
     from repro.quality.align import align_for_comparison

@@ -7,16 +7,24 @@ Subcommands mirror the library's main workflows::
     python -m repro.cli events    --frames 32 --out overlay.pgm
     python -m repro.cli experiment fig10 --scale tiny
     python -m repro.cli protect   --input input2 -n 200 --tolerance 10
+    python -m repro.cli trace summarize trace.jsonl
+
+``--trace PATH`` on the summarize / campaign / experiment commands
+enables stage-level telemetry for the run and writes a JSONL trace file
+(see ``docs/observability.md``); ``trace summarize`` renders the
+stage-time table from such a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.experiments import scale_from_env
 from repro.analysis.reporting import campaign_to_dict, save_json
 from repro.faultinject.campaign import CampaignConfig, run_campaign
@@ -37,6 +45,41 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+@contextlib.contextmanager
+def _maybe_traced(args: argparse.Namespace):
+    """Enable telemetry for the command when ``--trace PATH`` was given.
+
+    The trace (span events plus the final metrics snapshot) is written
+    to the requested path when the command body finishes — also on
+    error, so a crashed run still leaves its partial trace behind.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        yield
+        return
+    was_enabled = telemetry.enabled()
+    tracer = telemetry.enable()
+    try:
+        yield
+    finally:
+        from repro.telemetry.export import write_trace
+
+        write_trace(trace_path, tracer, meta={"argv": sys.argv[1:]})
+        if not was_enabled:
+            telemetry.disable()
+        print(f"trace written to {trace_path}")
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="enable stage-level telemetry and write a JSONL trace here",
+    )
+
+
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--input", default="input2", choices=["input1", "input2"], help="synthetic input"
@@ -52,57 +95,61 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
 
 def cmd_summarize(args: argparse.Namespace) -> int:
     """Run coverage summarization and save the panorama."""
-    stream = make_input(args.input, n_frames=args.frames)
-    config = config_for(args.algorithm)
-    ctx = ExecutionContext()
-    result = run_vs(stream, config, ctx)
-    print(
-        f"{config.name} on {args.input}: stitched={result.frames_stitched} "
-        f"discarded={result.frames_discarded} minis={result.num_minis} "
-        f"cycles={ctx.cycles / 1e6:.1f}M"
-    )
-    if args.out:
-        save_pgm(args.out, result.panorama)
-        print(f"panorama written to {args.out}")
+    with _maybe_traced(args):
+        stream = make_input(args.input, n_frames=args.frames)
+        config = config_for(args.algorithm)
+        ctx = ExecutionContext()
+        result = run_vs(stream, config, ctx)
+        print(
+            f"{config.name} on {args.input}: stitched={result.frames_stitched} "
+            f"discarded={result.frames_discarded} minis={result.num_minis} "
+            f"cycles={ctx.cycles / 1e6:.1f}M"
+        )
+        if args.out:
+            save_pgm(args.out, result.panorama)
+            print(f"panorama written to {args.out}")
     return 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a fault-injection campaign and print the resiliency profile."""
-    stream = make_input(args.input, n_frames=args.frames)
-    config = config_for(args.algorithm)
-    golden = golden_run(stream, config)
-
-    def workload(ctx: ExecutionContext) -> np.ndarray:
-        return run_vs(stream, config, ctx).panorama
-
-    kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
+    # Resolve the worker count before the (expensive) golden run, so a
+    # malformed REPRO_WORKERS fails fast with a clear error.
     workers = args.workers if args.workers else default_workers()
-    campaign = run_campaign(
-        workload,
-        golden.output,
-        golden.total_cycles,
-        CampaignConfig(
-            n_injections=args.n,
-            kind=kind,
-            seed=args.seed,
-            keep_sdc_outputs=False,
-            workers=workers,
-        ),
-        spec=VSWorkloadSpec.for_stream(stream, config),
-    )
-    counts = campaign.counts
-    print(
-        f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections "
-        f"({workers} worker{'s' if workers != 1 else ''}):"
-    )
-    for name, rate in counts.rates().items():
-        print(f"  {name:6s} {rate:7.2%}")
-    if counts.crash:
-        print(f"  crashes: {counts.crash_segv} segv / {counts.crash_abort} abort")
-    if args.out:
-        save_json(args.out, campaign_to_dict(campaign))
-        print(f"full record written to {args.out}")
+    with _maybe_traced(args):
+        stream = make_input(args.input, n_frames=args.frames)
+        config = config_for(args.algorithm)
+        golden = golden_run(stream, config)
+
+        def workload(ctx: ExecutionContext) -> np.ndarray:
+            return run_vs(stream, config, ctx).panorama
+
+        kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
+        campaign = run_campaign(
+            workload,
+            golden.output,
+            golden.total_cycles,
+            CampaignConfig(
+                n_injections=args.n,
+                kind=kind,
+                seed=args.seed,
+                keep_sdc_outputs=False,
+                workers=workers,
+            ),
+            spec=VSWorkloadSpec.for_stream(stream, config),
+        )
+        counts = campaign.counts
+        print(
+            f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections "
+            f"({workers} worker{'s' if workers != 1 else ''}):"
+        )
+        for name, rate in counts.rates().items():
+            print(f"  {name:6s} {rate:7.2%}")
+        if counts.crash:
+            print(f"  crashes: {counts.crash_segv} segv / {counts.crash_abort} abort")
+        if args.out:
+            save_json(args.out, campaign_to_dict(campaign))
+            print(f"full record written to {args.out}")
     return 0
 
 
@@ -151,19 +198,31 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     #: Campaign-running figures accept a worker count; the rest are
     #: golden-run-only and always execute in-process.
     campaign_figures = {"fig09", "fig10", "fig11a", "fig11b", "fig12"}
-    if args.figure in campaign_figures:
-        workers = args.workers if args.workers else default_workers()
-        result = entry_points[args.figure](scale, workers=workers)
-    else:
-        result = entry_points[args.figure](scale)
-    print(f"{args.figure} at scale {scale.name}: done")
-    # Structured results print compactly via their dataclass reprs.
-    if isinstance(result, list):
-        for item in result:
-            print(f"  {item}")
-    else:
-        print(f"  {result}")
+    with _maybe_traced(args):
+        if args.figure in campaign_figures:
+            workers = args.workers if args.workers else default_workers()
+            result = entry_points[args.figure](scale, workers=workers)
+        else:
+            result = entry_points[args.figure](scale)
+        print(f"{args.figure} at scale {scale.name}: done")
+        # Structured results print compactly via their dataclass reprs.
+        if isinstance(result, list):
+            for item in result:
+                print(f"  {item}")
+        else:
+            print(f"  {result}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a JSONL trace file written by ``--trace`` / REPRO_TRACE."""
+    from repro.telemetry.export import render_summary, summarize_trace
+
+    if args.trace_action == "summarize":
+        summary = summarize_trace(args.path)
+        print(render_summary(summary))
+        return 0
+    raise AssertionError(f"unknown trace action {args.trace_action!r}")
 
 
 def cmd_protect(args: argparse.Namespace) -> int:
@@ -211,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum = subparsers.add_parser("summarize", help="run coverage summarization")
     _add_input_arguments(p_sum)
     p_sum.add_argument("--out", type=Path, default=None, help="output PGM path")
+    _add_trace_argument(p_sum)
     p_sum.set_defaults(func=cmd_summarize)
 
     p_camp = subparsers.add_parser("campaign", help="run a fault-injection campaign")
@@ -225,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_WORKERS or the CPU count)",
     )
     p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
+    _add_trace_argument(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
     p_events = subparsers.add_parser("events", help="full summarization with tracking")
@@ -249,7 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for campaign figures "
         "(default: REPRO_WORKERS or the CPU count)",
     )
+    _add_trace_argument(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_trace = subparsers.add_parser("trace", help="inspect a JSONL trace file")
+    trace_sub = p_trace.add_subparsers(dest="trace_action", required=True)
+    p_trace_sum = trace_sub.add_parser(
+        "summarize", help="render the per-stage time table from a trace"
+    )
+    p_trace_sum.add_argument("path", type=Path, help="trace JSONL file")
+    p_trace_sum.set_defaults(func=cmd_trace)
 
     p_prot = subparsers.add_parser("protect", help="plan selective protection")
     _add_input_arguments(p_prot)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.faultinject.injector import InjectionPlan, random_plan
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 from repro.faultinject.outcomes import OutcomeCounts, RunningRates
@@ -147,12 +148,26 @@ def run_campaign(
     count exceeds 1, injections are sharded across a process pool and
     reassembled in order — the result is bit-identical to the serial
     path regardless of the worker count.
+
+    With telemetry enabled (see :mod:`repro.telemetry`) the campaign
+    additionally records phase spans, per-outcome counters and a
+    progress heartbeat on stderr — none of which feed back into the
+    campaign, so traced and untraced runs produce identical results.
     """
     workers = resolve_workers(config.workers)
-    plans = draw_plans(config, golden_cycles)
+    with telemetry.span("campaign.draw_plans"):
+        plans = draw_plans(config, golden_cycles)
+
+    heartbeat = (
+        telemetry.Heartbeat(len(plans), label=f"campaign {config.kind.value}")
+        if telemetry.enabled()
+        else None
+    )
+    progress = heartbeat.update if heartbeat is not None else None
 
     if spec is not None and workers > 1 and config.n_injections > 1:
-        results = execute_plans_parallel(spec, config, plans, workers)
+        with telemetry.span("campaign.execute"):
+            results = execute_plans_parallel(spec, config, plans, workers, progress=progress)
     else:
         monitor = FaultMonitor(
             workload,
@@ -164,8 +179,12 @@ def run_campaign(
             keep_sdc_outputs=config.keep_sdc_outputs,
         )
         results = []
-        for index, plan in enumerate(plans):
-            run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
-            results.append(monitor.run_injected(plan, run_rng))
+        with telemetry.span("campaign.execute"):
+            for index, plan in enumerate(plans):
+                run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
+                results.append(monitor.run_injected(plan, run_rng))
+                if progress is not None:
+                    progress(index + 1)
 
-    return assemble_campaign(config, results)
+    with telemetry.span("campaign.assemble"):
+        return assemble_campaign(config, results)

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.faultinject.injector import FaultInjector, InjectionPlan, InjectionRecord
 from repro.faultinject.outcomes import CrashKind, Outcome, classify_exception
 from repro.faultinject.registers import LivenessModel
@@ -69,6 +70,17 @@ class FaultMonitor:
 
     def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         """Execute one injected run and classify the result."""
+        result = self._run_injected(plan, rng)
+        if telemetry.enabled():
+            # Telemetry only observes — counters never feed back into
+            # classification, so traced and untraced campaigns agree.
+            telemetry.counter_inc("campaign.runs")
+            telemetry.counter_inc(f"campaign.outcome.{result.outcome.value}")
+            if result.record.fired:
+                telemetry.counter_inc("campaign.fired")
+        return result
+
+    def _run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         injector = FaultInjector(
             plan,
             rng=rng,

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import telemetry
 from repro.faultinject.injector import InjectionPlan
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 
@@ -101,33 +102,50 @@ class VSWorkloadSpec:
         return workload, golden.output, golden.total_cycles
 
 
+def _parse_workers(raw: str | int, source: str) -> int:
+    """Validate a worker count: a base-10 integer >= 1, or ValueError."""
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer worker count, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{source} must be a positive integer worker count, got {raw!r}"
+        )
+    return value
+
+
+def _workers_from_env() -> int | None:
+    env = os.environ.get(WORKERS_ENV)
+    if env is None or env == "":
+        return None
+    return _parse_workers(env, WORKERS_ENV)
+
+
 def resolve_workers(requested: int | None = None) -> int:
     """Resolve an explicit or configured worker count.
 
-    An explicit positive ``requested`` wins; otherwise ``REPRO_WORKERS``
-    from the environment; otherwise 1 (the conservative library default
-    — entry points that want machine-wide fan-out use
-    :func:`default_workers`).
+    An explicit ``requested`` wins (and must be >= 1 — zero and negative
+    counts are rejected with a clear error rather than silently clamped);
+    otherwise ``REPRO_WORKERS`` from the environment; otherwise 1 (the
+    conservative library default — entry points that want machine-wide
+    fan-out use :func:`default_workers`).
     """
-    if requested is not None and requested > 0:
-        return int(requested)
-    env = os.environ.get(WORKERS_ENV)
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError as exc:
-            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+    if requested is not None:
+        return _parse_workers(requested, "workers")
+    env_workers = _workers_from_env()
+    if env_workers is not None:
+        return env_workers
     return 1
 
 
 def default_workers() -> int:
     """The cpu-count-aware default for CLI/bench fan-out."""
-    env = os.environ.get(WORKERS_ENV)
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError as exc:
-            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+    env_workers = _workers_from_env()
+    if env_workers is not None:
+        return env_workers
     return os.cpu_count() or 1
 
 
@@ -176,6 +194,28 @@ def run_injection_chunk(
     return results
 
 
+def run_injection_chunk_metered(
+    spec: WorkloadSpec,
+    config: "CampaignConfig",
+    chunk: list[tuple[int, InjectionPlan]],
+) -> tuple[list[InjectionResult], dict]:
+    """Like :func:`run_injection_chunk`, plus this chunk's metric snapshot.
+
+    A fresh tracer is swapped in for the chunk's duration, so the
+    returned snapshot covers exactly this chunk's activity (stage
+    timers, outcome counters, golden-cache counters) regardless of what
+    a forked worker inherited from the parent.  The parent merges the
+    snapshots in chunk order, which makes the aggregated registry
+    deterministic for a fixed chunking.
+    """
+    fresh, previous = telemetry.swap_in_fresh_tracer()
+    try:
+        results = run_injection_chunk(spec, config, chunk)
+    finally:
+        telemetry.restore_tracer(previous)
+    return results, fresh.registry.snapshot()
+
+
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
@@ -202,32 +242,46 @@ def execute_plans_parallel(
     config: "CampaignConfig",
     plans: list[InjectionPlan],
     workers: int,
+    progress: Callable[[int], None] | None = None,
 ) -> list[InjectionResult]:
     """Run all plans across a process pool, in injection order.
 
     Worker crashes (a dead process, not a classified workload outcome)
     surface as a ``RuntimeError`` rather than a hang; workload
     exceptions that the monitor does not classify propagate unchanged.
+
+    When telemetry is enabled, each chunk additionally returns a
+    worker-side metric snapshot; snapshots are merged into the parent
+    tracer **in chunk order**, so the aggregated metrics are
+    deterministic, matching the ordered reassembly of the results
+    themselves.  ``progress``, when given, is called with the cumulative
+    number of completed injections as ordered chunks drain.
     """
     chunks = chunk_indexed_plans(plans, workers)
     if not chunks:
         return []
+    tracer = telemetry.get_tracer()
+    chunk_fn = run_injection_chunk_metered if tracer is not None else run_injection_chunk
+    results: list[InjectionResult] = []
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk_results = list(
-                pool.map(
-                    run_injection_chunk,
-                    [spec] * len(chunks),
-                    [config] * len(chunks),
-                    chunks,
-                )
-            )
+            for chunk_result in pool.map(
+                chunk_fn,
+                [spec] * len(chunks),
+                [config] * len(chunks),
+                chunks,
+            ):
+                if tracer is not None:
+                    chunk_results_part, snapshot = chunk_result
+                    tracer.registry.merge_snapshot(snapshot)
+                else:
+                    chunk_results_part = chunk_result
+                results.extend(chunk_results_part)
+                if progress is not None:
+                    progress(len(results))
     except BrokenProcessPool as exc:
         raise RuntimeError(
             "campaign worker process died unexpectedly; re-run with workers=1 "
             "to reproduce the failure in-process"
         ) from exc
-    results: list[InjectionResult] = []
-    for chunk_result in chunk_results:
-        results.extend(chunk_result)
     return results

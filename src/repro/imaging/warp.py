@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.imaging.geometry import invert_transform, projected_bounds, validate_homography
 from repro.imaging.image import as_gray, blank, saturate_cast_u8
 from repro.perfmodel.cost import kernel_cost
@@ -53,6 +54,18 @@ def warp_into(
     written by this call are set to 255.  Returns the number of pixels
     written.
     """
+    with telemetry.span("imaging.warp", ctx=ctx):
+        return _warp_into(canvas, coverage, src, transform, ctx, block_rows)
+
+
+def _warp_into(
+    canvas: np.ndarray,
+    coverage: np.ndarray,
+    src: np.ndarray,
+    transform: np.ndarray,
+    ctx: ExecutionContext,
+    block_rows: int,
+) -> int:
     canvas = as_gray(canvas)
     coverage = as_gray(coverage)
     if canvas.shape != coverage.shape:

@@ -29,6 +29,15 @@ STATIC_POWER_W = 8.0
 DYNAMIC_POWER_PER_IPC_W = 14.0
 
 
+def cycles_to_seconds(cycles: int) -> float:
+    """Modelled wall time of ``cycles`` on the simulated machine.
+
+    Used by the telemetry layer to show a modelled-time column next to
+    measured wall time in ``repro trace summarize``.
+    """
+    return cycles / CLOCK_HZ
+
+
 @dataclass(frozen=True)
 class PerfEstimate:
     """Performance/energy summary of one run."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.runtime.context import CostProfile, ExecutionContext
 from repro.summarize.config import VSConfig
 from repro.summarize.pipeline import VSResult, run_vs
@@ -60,12 +61,15 @@ def golden_run(stream: FrameStream, config: VSConfig, use_cache: bool = True) ->
     key = _cache_key(stream, config)
     if use_cache and key in _CACHE:
         _STATS.hits += 1
+        telemetry.counter_inc("golden.cache_hit")
         return _CACHE[key]
 
     _STATS.computes += 1
+    telemetry.counter_inc("golden.cache_compute")
     profile = CostProfile()
     ctx = ExecutionContext(profile=profile)
-    result = run_vs(stream, config, ctx)
+    with telemetry.span("summarize.golden", ctx=ctx):
+        result = run_vs(stream, config, ctx)
     run = GoldenRun(
         config=config,
         stream_name=stream.name,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
 from repro.runtime.errors import InsufficientMatchesError, SegmentationFault
@@ -86,6 +87,11 @@ def run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSRe
     Deterministic: the same stream and config always produce the same
     output on a clean context.
     """
+    with telemetry.span("summarize.run_vs", ctx=ctx):
+        return _run_vs(stream, config, ctx)
+
+
+def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSResult:
     rng = np.random.default_rng(_ransac_seed(config, stream.name))
 
     if config.drop_fraction > 0.0:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.imaging.geometry import translation, validate_homography
 from repro.imaging.image import blank
 from repro.imaging.warp import warp_into
@@ -200,9 +201,10 @@ class MiniPanorama:
         self._composite(frame, chain_transform, ctx)
 
     def _composite(self, frame: np.ndarray, transform: np.ndarray, ctx: ExecutionContext) -> None:
-        with ctx.scope("summarize.stitcher.composite"):
-            written = warp_into(self.canvas, self.coverage, frame, transform, ctx)
-            ctx.tick(kernel_cost("composite.px") * max(written, 1))
+        with telemetry.span("summarize.stitch", ctx=ctx):
+            with ctx.scope("summarize.stitcher.composite"):
+                written = warp_into(self.canvas, self.coverage, frame, transform, ctx)
+                ctx.tick(kernel_cost("composite.px") * max(written, 1))
         self.frames_composited += 1
 
     def validate_chain(self, transform: np.ndarray, frame_shape: tuple[int, int]) -> np.ndarray:

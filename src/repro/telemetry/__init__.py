@@ -1,0 +1,64 @@
+"""Lightweight, zero-dependency observability for the reproduction.
+
+Three pieces, all process-local and off by default:
+
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges
+  and monotonic timers, with deterministic ordered snapshot merging
+  (how parallel campaign workers report back).
+* :func:`span` / :func:`traced` — nested stage-level tracing that
+  captures wall/CPU time, peak-RSS deltas and the simulated cycles an
+  :class:`~repro.runtime.context.ExecutionContext` charged inside the
+  span.  Disabled tracing costs a single ``None`` check per stage.
+* :mod:`~repro.telemetry.export` — JSONL trace files and the
+  ``repro trace summarize`` stage-time table.
+
+Enable programmatically with :func:`enable` (pair with
+:func:`~repro.telemetry.export.write_trace`), from the CLI with
+``--trace PATH``, or for a whole process with ``REPRO_TRACE=1`` /
+``REPRO_TRACE=/path/trace.jsonl`` in the environment.
+
+Tracing never changes results: campaigns run with telemetry enabled are
+bit-identical to untraced runs at any worker count (see
+``tests/telemetry/test_campaign_equivalence.py``).
+"""
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.progress import Heartbeat
+from repro.telemetry.tracing import (
+    DEFAULT_MAX_EVENTS,
+    TRACE_ENV,
+    Tracer,
+    activate_from_env,
+    counter_inc,
+    disable,
+    enable,
+    enabled,
+    gauge_set,
+    get_tracer,
+    restore_tracer,
+    span,
+    swap_in_fresh_tracer,
+    traced,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Heartbeat",
+    "Tracer",
+    "TRACE_ENV",
+    "DEFAULT_MAX_EVENTS",
+    "activate_from_env",
+    "counter_inc",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge_set",
+    "get_tracer",
+    "restore_tracer",
+    "span",
+    "swap_in_fresh_tracer",
+    "traced",
+]
+
+# One-time environment activation (REPRO_TRACE=1 or a trace path).
+activate_from_env()

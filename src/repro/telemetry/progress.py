@@ -1,0 +1,75 @@
+"""Campaign progress heartbeats: injections/sec, ETA, cache hit rate.
+
+A :class:`Heartbeat` prints at most one line per ``interval_s`` to
+``stream`` (stderr by default, so machine-readable stdout output stays
+clean), plus a final line when the campaign completes::
+
+    [campaign gpr] 120/400 injections | 5.3 inj/s | ETA 53s | golden-cache 7/8 hits
+
+Heartbeats are created by the campaign engine only while telemetry is
+enabled, and only observe — they never touch campaign state.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class Heartbeat:
+    """Rate-limited progress reporting for a fixed-size unit of work."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        interval_s: float = 2.0,
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.interval_s = interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.start = clock()
+        self._last_emit = float("-inf")
+        self.lines_emitted = 0
+
+    def _cache_suffix(self) -> str:
+        from repro.summarize.golden import golden_cache_stats
+
+        stats = golden_cache_stats()
+        lookups = stats.hits + stats.computes
+        if lookups == 0:
+            return ""
+        return f" | golden-cache {stats.hits}/{lookups} hits"
+
+    def update(self, done: int) -> None:
+        """Report ``done`` completed units; prints when due."""
+        now = self.clock()
+        final = done >= self.total
+        if not final and now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        elapsed = max(now - self.start, 1e-9)
+        rate = done / elapsed
+        if final or rate <= 0:
+            eta = "0s"
+        else:
+            eta = _format_eta((self.total - done) / rate)
+        print(
+            f"[{self.label}] {done}/{self.total} injections | "
+            f"{rate:.1f} inj/s | ETA {eta}{self._cache_suffix()}",
+            file=self.stream,
+        )
+        self.lines_emitted += 1

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.imaging.image import as_gray
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
@@ -82,6 +83,16 @@ def detect_fast(
 
     Returns keypoints sorted by descending score.
     """
+    with telemetry.span("vision.fast", ctx=ctx):
+        return _detect_fast(image, ctx, threshold, nms_radius)
+
+
+def _detect_fast(
+    image: np.ndarray,
+    ctx: ExecutionContext,
+    threshold: int,
+    nms_radius: int,
+) -> list[Keypoint]:
     arr = as_gray(image)
     h, w = arr.shape
     if h <= 2 * BORDER or w <= 2 * BORDER:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
 
@@ -89,6 +90,15 @@ def hamming_distance_matrix(
     ``first`` is ``(n1, 32) uint8``, ``second`` ``(n2, 32) uint8``;
     returns ``(n1, n2) int64``.
     """
+    with telemetry.span("vision.match", ctx=ctx):
+        return _hamming_distance_matrix(first, second, ctx)
+
+
+def _hamming_distance_matrix(
+    first: np.ndarray,
+    second: np.ndarray,
+    ctx: ExecutionContext,
+) -> np.ndarray:
     n1 = first.shape[0]
     n2 = second.shape[0]
     if n1 == 0 or n2 == 0:

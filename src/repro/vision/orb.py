@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.imaging.filters import gaussian_blur, harris_response
 from repro.imaging.image import as_gray
 from repro.perfmodel.cost import kernel_cost
@@ -174,6 +175,16 @@ def orb_features(
     fast_threshold: int = 20,
 ) -> FeatureSet:
     """Full ORB front end: blur, detect, rank, orient and describe."""
+    with telemetry.span("vision.orb", ctx=ctx):
+        return _orb_features(image, ctx, n_keypoints, fast_threshold)
+
+
+def _orb_features(
+    image: np.ndarray,
+    ctx: ExecutionContext,
+    n_keypoints: int,
+    fast_threshold: int,
+) -> FeatureSet:
     arr = as_gray(image)
     h, w = arr.shape
     blurred = gaussian_blur(arr, sigma=1.1, ctx=ctx)

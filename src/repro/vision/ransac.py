@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
 from repro.runtime.errors import DegenerateModelError, InsufficientMatchesError
@@ -79,6 +80,22 @@ def ransac_homography(
     ``min_inliers`` supporters exists — the condition under which the
     pipeline falls back to an affine estimate or discards the frame.
     """
+    with telemetry.span("vision.ransac", ctx=ctx):
+        return _ransac_homography(
+            src_pts, dst_pts, ctx, rng, inlier_threshold, confidence, max_iterations, min_inliers
+        )
+
+
+def _ransac_homography(
+    src_pts: np.ndarray,
+    dst_pts: np.ndarray,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    inlier_threshold: float,
+    confidence: float,
+    max_iterations: int,
+    min_inliers: int,
+) -> RansacResult:
     src = np.asarray(src_pts, dtype=np.float64)
     dst = np.asarray(dst_pts, dtype=np.float64)
     n = src.shape[0]
@@ -170,6 +187,21 @@ def ransac_affine(
     Used when too few correspondences support a homography (paper
     Section III-A); needs 3-point samples instead of 4.
     """
+    with telemetry.span("vision.ransac", ctx=ctx):
+        return _ransac_affine(
+            src_pts, dst_pts, ctx, rng, inlier_threshold, max_iterations, min_inliers
+        )
+
+
+def _ransac_affine(
+    src_pts: np.ndarray,
+    dst_pts: np.ndarray,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    inlier_threshold: float,
+    max_iterations: int,
+    min_inliers: int,
+) -> RansacResult:
     from repro.vision.affine import affine_residuals, estimate_affine, solve_affines_batched
     from repro.vision.affine import MIN_POINTS as AFFINE_MIN
 

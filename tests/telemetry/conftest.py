@@ -1,0 +1,15 @@
+"""Telemetry test isolation: tracing must never leak across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after_test():
+    """Restore the disabled-by-default state whatever a test did."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

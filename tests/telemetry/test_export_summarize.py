@@ -1,0 +1,160 @@
+"""JSONL trace export, summarization and the CLI surfaces around them."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.cli import main
+from repro.runtime.context import ExecutionContext
+from repro.telemetry.export import (
+    SCHEMA_VERSION,
+    read_trace,
+    render_summary,
+    summarize_trace,
+    write_trace,
+)
+from repro.telemetry.tracing import Tracer
+
+
+def _traced_activity(tracer: Tracer) -> None:
+    ctx = ExecutionContext()
+    with tracer.span("outer", ctx=ctx):
+        ctx.tick(500)
+        with tracer.span("inner", ctx=ctx):
+            ctx.tick(1500)
+    tracer.registry.inc("golden.cache_hit", 3)
+
+
+class TestWriteRead:
+    def test_roundtrip_structure(self, tmp_path):
+        tracer = Tracer()
+        _traced_activity(tracer)
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer, meta={"argv": ["unit"]})
+
+        records = read_trace(path)
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert records[0]["argv"] == ["unit"]
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["counters"]["golden.cache_hit"] == 3
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        _traced_activity(tracer)
+        path = write_trace(tmp_path / "t.jsonl", tracer)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        write_trace(path, Tracer())
+        assert path.exists()
+
+
+class TestSummarize:
+    def test_aggregates_spans_per_stage(self, tmp_path):
+        tracer = Tracer()
+        _traced_activity(tracer)
+        _traced_activity(tracer)
+        path = write_trace(tmp_path / "t.jsonl", tracer)
+
+        summary = summarize_trace(path)
+        assert summary.total_events == 4
+        assert summary.stages["outer"].count == 2
+        assert summary.stages["inner"].count == 2
+        # inner charged 1500 cycles per call; outer spans both ticks.
+        assert summary.stages["inner"].cycles == 3000
+        assert summary.stages["outer"].cycles == 4000
+        assert summary.counters["golden.cache_hit"] == 6
+
+    def test_backfills_stages_from_metrics_timers(self, tmp_path):
+        """Worker-side stages have no span events, only merged timers."""
+        tracer = Tracer()
+        tracer.registry.observe("span.vision.orb", 0.25)
+        tracer.registry.observe("span.vision.orb", 0.75)
+        tracer.registry.inc("cycles.vision.orb", 9000)
+        path = write_trace(tmp_path / "t.jsonl", tracer)
+
+        summary = summarize_trace(path)
+        stat = summary.stages["vision.orb"]
+        assert stat.count == 2
+        assert stat.wall_s == 1.0
+        assert stat.cycles == 9000
+        assert summary.total_events == 0
+
+    def test_merged_timers_win_over_partial_events(self, tmp_path):
+        """Parallel runs: registry timers are a superset of local events."""
+        tracer = Tracer()
+        with tracer.span("vision.orb"):
+            pass
+        # Simulate merged worker snapshots: 5 total calls, more cycles.
+        tracer.registry.observe("span.vision.orb", 2.0)
+        tracer.registry.observe("span.vision.orb", 2.0)
+        tracer.registry.observe("span.vision.orb", 2.0)
+        tracer.registry.observe("span.vision.orb", 2.0)
+        tracer.registry.inc("cycles.vision.orb", 7777)
+        path = write_trace(tmp_path / "t.jsonl", tracer)
+
+        stat = summarize_trace(path).stages["vision.orb"]
+        assert stat.count == 5  # 1 local event + 4 merged observations
+        assert stat.cycles == 7777
+
+    def test_dropped_events_surface(self, tmp_path):
+        tracer = Tracer(max_events=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        summary = summarize_trace(write_trace(tmp_path / "t.jsonl", tracer))
+        assert summary.dropped_events == 2
+
+    def test_ordered_by_descending_wall_time(self, tmp_path):
+        tracer = Tracer()
+        tracer.registry.observe("span.slow", 2.0)
+        tracer.registry.observe("span.fast", 0.1)
+        summary = summarize_trace(write_trace(tmp_path / "t.jsonl", tracer))
+        assert [s.name for s in summary.ordered()] == ["slow", "fast"]
+
+
+class TestRenderSummary:
+    def test_table_contains_stages_and_counters(self, tmp_path):
+        tracer = Tracer()
+        _traced_activity(tracer)
+        summary = summarize_trace(write_trace(tmp_path / "t.jsonl", tracer))
+        text = render_summary(summary)
+        assert "stage" in text and "wall s" in text and "modelled s" in text
+        assert "outer" in text and "inner" in text
+        assert "2 span event(s)" in text
+        assert "golden.cache_hit = 3" in text
+
+    def test_empty_trace_renders(self, tmp_path):
+        text = render_summary(summarize_trace(write_trace(tmp_path / "t.jsonl", Tracer())))
+        assert "0 span event(s)" in text
+
+
+class TestCLISurfaces:
+    def test_trace_flag_writes_file_and_disables_after(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["summarize", "--frames", "6", "--trace", str(path)]) == 0
+        assert path.exists()
+        assert not telemetry.enabled()  # flag-scoped, not sticky
+        assert f"trace written to {path}" in capsys.readouterr().out
+
+        records = read_trace(path)
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "summarize.run_vs" in span_names
+        assert "vision.fast" in span_names
+
+    def test_trace_summarize_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["summarize", "--frames", "6", "--trace", str(path)])
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "summarize.run_vs" in out
+        assert "span event(s)" in out

@@ -1,0 +1,94 @@
+"""Heartbeat: rate-limited progress lines with rate, ETA and cache stats."""
+
+from __future__ import annotations
+
+import io
+
+from repro.telemetry.progress import Heartbeat, _format_eta
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _heartbeat(total: int, interval_s: float = 2.0):
+    clock = FakeClock()
+    stream = io.StringIO()
+    beat = Heartbeat(total, label="campaign gpr", interval_s=interval_s,
+                     stream=stream, clock=clock)
+    return beat, clock, stream
+
+
+class TestRateLimiting:
+    def test_at_most_one_line_per_interval(self):
+        beat, clock, stream = _heartbeat(total=100)
+        clock.advance(0.1)
+        beat.update(1)  # first due immediately
+        for done in range(2, 50):
+            clock.advance(0.01)
+            beat.update(done)  # all inside the 2 s window: suppressed
+        assert beat.lines_emitted == 1
+        clock.advance(2.0)
+        beat.update(50)
+        assert beat.lines_emitted == 2
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_final_update_always_prints(self):
+        beat, clock, stream = _heartbeat(total=10)
+        clock.advance(0.1)
+        beat.update(3)
+        clock.advance(0.01)
+        beat.update(10)  # final: prints despite the interval
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "10/10" in lines[-1]
+        assert "ETA 0s" in lines[-1]
+
+
+class TestLineFormat:
+    def test_line_shows_rate_and_eta(self):
+        beat, clock, stream = _heartbeat(total=40)
+        clock.advance(2.0)
+        beat.update(10)  # 5 inj/s, 30 left -> ETA 6 s
+        line = stream.getvalue().strip()
+        assert line.startswith("[campaign gpr] 10/40 injections")
+        assert "5.0 inj/s" in line
+        assert "ETA 6s" in line
+
+    def test_cache_suffix_reports_golden_hits(self):
+        from repro.summarize.golden import clear_golden_cache, golden_cache_stats
+
+        clear_golden_cache()
+        stats = golden_cache_stats()
+        stats.computes = 1
+        stats.hits = 7
+        try:
+            beat, clock, stream = _heartbeat(total=10)
+            clock.advance(1.0)
+            beat.update(5)
+            assert "golden-cache 7/8 hits" in stream.getvalue()
+        finally:
+            clear_golden_cache()
+
+    def test_no_cache_suffix_without_lookups(self):
+        from repro.summarize.golden import clear_golden_cache
+
+        clear_golden_cache()
+        beat, clock, stream = _heartbeat(total=10)
+        clock.advance(1.0)
+        beat.update(5)
+        assert "golden-cache" not in stream.getvalue()
+
+
+class TestEtaFormatting:
+    def test_eta_units(self):
+        assert _format_eta(42.4) == "42s"
+        assert _format_eta(90) == "1.5m"
+        assert _format_eta(2.5 * 3600) == "2.5h"

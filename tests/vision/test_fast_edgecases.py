@@ -1,0 +1,106 @@
+"""Edge-case tests for FAST-9 detection and its separable NMS.
+
+The separable sliding-window NMS (two 1-D maxima) replaced a shifted-copy
+loop; these tests pin it against a brute-force O((2r+1)^2) reference on
+random score maps, and pin :func:`detect_fast` on degenerate frames —
+flat images, frames thinner than the detector border, single-row /
+single-column inputs — where the only correct answer is "no keypoints,
+no crash".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.context import ExecutionContext
+from repro.vision.fast import BORDER, Keypoint, _nms, detect_fast
+
+
+def _reference_nms(score: np.ndarray, radius: int) -> np.ndarray:
+    """Brute-force local-maximum map over the (2r+1) square window."""
+    if radius < 1:
+        return score > 0
+    h, w = score.shape
+    keep = np.zeros_like(score, dtype=bool)
+    for y in range(h):
+        for x in range(w):
+            if score[y, x] <= 0:
+                continue
+            y0, y1 = max(0, y - radius), min(h, y + radius + 1)
+            x0, x1 = max(0, x - radius), min(w, x + radius + 1)
+            keep[y, x] = score[y, x] >= score[y0:y1, x0:x1].max()
+    return keep
+
+
+class TestSeparableNMS:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_on_random_maps(self, radius, seed):
+        rng = np.random.default_rng(seed)
+        score = rng.uniform(0.0, 10.0, size=(17, 23))
+        score[rng.uniform(size=score.shape) < 0.6] = 0.0  # sparse, with ties
+        assert np.array_equal(_nms(score, radius), _reference_nms(score, radius))
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_tied_plateau_keeps_all_equal_maxima(self, radius):
+        score = np.zeros((9, 9))
+        score[4, 4] = score[4, 5] = 5.0  # adjacent equal maxima
+        got = _nms(score, radius)
+        assert np.array_equal(got, _reference_nms(score, radius))
+        assert got[4, 4] and got[4, 5]
+
+    def test_radius_zero_is_positive_mask(self):
+        score = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert np.array_equal(_nms(score, 0), score > 0)
+
+    @pytest.mark.parametrize("shape", [(1, 12), (12, 1), (1, 1), (3, 3)])
+    def test_thin_maps_do_not_crash(self, shape):
+        rng = np.random.default_rng(0)
+        score = rng.uniform(0.0, 5.0, size=shape)
+        for radius in (1, 2, 3):
+            assert np.array_equal(_nms(score, radius), _reference_nms(score, radius))
+
+
+class TestDetectFastDegenerateFrames:
+    def test_flat_frame_has_no_corners(self):
+        frame = np.full((32, 32), 128, dtype=np.uint8)
+        assert detect_fast(frame, ExecutionContext()) == []
+
+    def test_uniform_gradient_has_no_corners(self):
+        frame = np.tile(np.arange(32, dtype=np.uint8), (32, 1))
+        keypoints = detect_fast(frame, ExecutionContext(), threshold=60)
+        assert keypoints == []
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(1, 64), (64, 1), (1, 1), (2 * BORDER, 64), (64, 2 * BORDER), (6, 6)],
+    )
+    def test_frames_smaller_than_border_return_empty(self, shape):
+        frame = np.random.default_rng(1).integers(0, 256, size=shape, dtype=np.uint8)
+        assert detect_fast(frame, ExecutionContext()) == []
+
+    def test_smallest_usable_frame_detects_a_corner(self):
+        # 7x7 has exactly one interior pixel, (3, 3); make it a dark dot
+        # on a bright field so all 16 circle pixels are brighter.
+        frame = np.full((7, 7), 255, dtype=np.uint8)
+        frame[3, 3] = 0
+        keypoints = detect_fast(frame, ExecutionContext(), threshold=20)
+        assert len(keypoints) == 1
+        assert (keypoints[0].x, keypoints[0].y) == (3, 3)
+        assert keypoints[0].score > 0
+
+    def test_corner_at_border_limit_not_reported_outside(self):
+        rng = np.random.default_rng(7)
+        frame = rng.integers(0, 256, size=(24, 24), dtype=np.uint8)
+        for kp in detect_fast(frame, ExecutionContext(), threshold=10):
+            assert BORDER <= kp.x < 24 - BORDER
+            assert BORDER <= kp.y < 24 - BORDER
+
+    def test_scores_sorted_descending(self):
+        rng = np.random.default_rng(11)
+        frame = rng.integers(0, 256, size=(48, 48), dtype=np.uint8)
+        keypoints = detect_fast(frame, ExecutionContext(), threshold=10)
+        scores = [kp.score for kp in keypoints]
+        assert scores == sorted(scores, reverse=True)
+        assert all(isinstance(kp, Keypoint) for kp in keypoints)

@@ -1,0 +1,132 @@
+"""Property-based regression tests for the vectorized Hamming popcount.
+
+The uint64-lane fast path in :mod:`repro.vision.matching` must be
+bit-for-bit equivalent to the per-byte lookup-table reference for every
+descriptor shape it can encounter — including the shapes that force the
+fallback (odd widths, non-contiguous row views) and the empty edge
+cases.  Hypothesis drives the shape/content space; the byte table
+``_POPCOUNT`` is the independent oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.context import ExecutionContext
+from repro.vision.matching import (
+    _POPCOUNT,
+    _as_words,
+    _popcount_words,
+    hamming_distance_matrix,
+)
+
+
+def _reference_hamming(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """O(n1*n2*width) byte-table reference, independent of the fast path."""
+    if first.shape[0] == 0 or second.shape[0] == 0:
+        return np.zeros((first.shape[0], second.shape[0]), dtype=np.int64)
+    xor = first[:, np.newaxis, :] ^ second[np.newaxis, :, :]
+    return _POPCOUNT[xor].sum(axis=2, dtype=np.int64)
+
+
+def _random_descriptors(rng: np.random.Generator, rows: int, width: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+
+
+@st.composite
+def descriptor_pairs(draw):
+    """Two descriptor tables of a shared width, biased toward edge shapes."""
+    width = draw(st.sampled_from([1, 3, 7, 8, 16, 24, 31, 32, 33, 40, 64]))
+    n1 = draw(st.integers(min_value=0, max_value=40))
+    n2 = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    return _random_descriptors(rng, n1, width), _random_descriptors(rng, n2, width)
+
+
+class TestHammingMatrixProperties:
+    @settings(deadline=None, max_examples=120)
+    @given(descriptor_pairs())
+    def test_matches_byte_table_reference(self, pair):
+        first, second = pair
+        ctx = ExecutionContext()
+        got = hamming_distance_matrix(first, second, ctx)
+        expected = _reference_hamming(first, second)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, expected)
+
+    @settings(deadline=None, max_examples=60)
+    @given(descriptor_pairs())
+    def test_symmetry_and_self_distance(self, pair):
+        first, second = pair
+        ctx = ExecutionContext()
+        forward = hamming_distance_matrix(first, second, ctx)
+        backward = hamming_distance_matrix(second, first, ctx)
+        assert np.array_equal(forward, backward.T)
+        self_dist = hamming_distance_matrix(first, first, ctx)
+        assert np.array_equal(np.diag(self_dist), np.zeros(first.shape[0], dtype=np.int64))
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_non_contiguous_views_fall_back_correctly(self, n1, n2, seed):
+        """Column-sliced (non-contiguous) rows must take the byte path."""
+        rng = np.random.default_rng(seed)
+        wide_first = _random_descriptors(rng, n1, 64)
+        wide_second = _random_descriptors(rng, n2, 64)
+        first = wide_first[:, ::2]  # 32 bytes wide but stride 2: no uint64 view
+        second = wide_second[:, ::2]
+        assert _as_words(first) is None
+        got = hamming_distance_matrix(first, second, ExecutionContext())
+        assert np.array_equal(got, _reference_hamming(first, second))
+
+    def test_empty_both_sides(self):
+        ctx = ExecutionContext()
+        empty = np.zeros((0, 32), dtype=np.uint8)
+        some = np.ones((3, 32), dtype=np.uint8)
+        assert hamming_distance_matrix(empty, some, ctx).shape == (0, 3)
+        assert hamming_distance_matrix(some, empty, ctx).shape == (3, 0)
+        assert hamming_distance_matrix(empty, empty, ctx).shape == (0, 0)
+
+
+class TestPopcountWords:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_word_popcount_matches_byte_table(self, count, seed):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**63, size=count, dtype=np.uint64) * 2 + rng.integers(
+            0, 2, size=count, dtype=np.uint64
+        )
+        got = _popcount_words(words).astype(np.int64)
+        expected = _POPCOUNT[words.view(np.uint8)].reshape(count, 8).sum(axis=1)
+        assert np.array_equal(got, expected.astype(np.int64))
+
+    def test_extremes(self):
+        words = np.array([0, np.iinfo(np.uint64).max, 1, 1 << 63], dtype=np.uint64)
+        assert _popcount_words(words).tolist() == [0, 64, 1, 1]
+
+
+class TestAsWords:
+    @pytest.mark.parametrize("width", [1, 7, 9, 31, 33])
+    def test_odd_widths_have_no_word_view(self, width):
+        desc = np.zeros((4, width), dtype=np.uint8)
+        assert _as_words(desc) is None
+
+    @pytest.mark.parametrize("width", [8, 16, 32, 64])
+    def test_aligned_widths_view_in_place(self, width):
+        desc = np.arange(4 * width, dtype=np.uint8).reshape(4, width)
+        words = _as_words(desc)
+        assert words is not None
+        assert words.shape == (4, width // 8)
+        # It must be a *view*: in-place corruption stays visible.
+        desc[0, 0] ^= 0xFF
+        assert words.view(np.uint8)[0, 0] == desc[0, 0]

@@ -55,7 +55,7 @@ def _out_path() -> Path:
     return Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT / "BENCH_campaign.json"))
 
 
-def _time_campaign(stream, config, golden, n_injections, workers, spec):
+def _time_campaign(stream, config, golden, n_injections, workers, spec, journal_path=None):
     start = time.perf_counter()
     campaign = run_campaign(
         vs_workload(stream, config),
@@ -69,6 +69,7 @@ def _time_campaign(stream, config, golden, n_injections, workers, spec):
             workers=workers,
         ),
         spec=spec,
+        journal_path=journal_path,
     )
     elapsed = time.perf_counter() - start
     return elapsed, campaign
@@ -83,7 +84,7 @@ def append_entry(path: Path, entry: dict) -> None:
     path.write_text(json.dumps(entries, indent=2) + "\n")
 
 
-def test_campaign_perf_trajectory():
+def test_campaign_perf_trajectory(tmp_path):
     """Time the tracked campaign serial vs parallel and record both."""
     scale = _bench_scale()
     workers = _bench_workers()
@@ -98,6 +99,18 @@ def test_campaign_perf_trajectory():
     )
     parallel_s, parallel = _time_campaign(
         stream, config, golden, scale.injections, workers=workers, spec=spec
+    )
+
+    # Same serial cell with the crash-safe checkpoint journal enabled,
+    # to track the durability tax (one fsync'd JSONL append per chunk).
+    journaled_s, journaled = _time_campaign(
+        stream,
+        config,
+        golden,
+        scale.injections,
+        workers=1,
+        spec=None,
+        journal_path=tmp_path / "bench-journal.jsonl",
     )
 
     # Same cell again with stage-level tracing on, to track the overhead
@@ -116,6 +129,18 @@ def test_campaign_perf_trajectory():
     assert serial.running == parallel.running
     assert serial.counts == traced.counts
     assert serial.running == traced.running
+    assert serial.counts == journaled.counts
+    assert serial.running == journaled.running
+
+    # Journal overhead must stay within noise at default chunk sizes:
+    # a handful of fsync'd appends against seconds of injection work.
+    # The bound is deliberately loose (50% + 250ms absolute slack) so a
+    # noisy CI box cannot flake it, while a regression that fsyncs per
+    # *injection* instead of per chunk still fails loudly.
+    assert journaled_s <= serial_s * 1.5 + 0.25, (
+        f"journal overhead out of noise band: journaled {journaled_s:.3f}s "
+        f"vs serial {serial_s:.3f}s"
+    )
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -126,8 +151,10 @@ def test_campaign_perf_trajectory():
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "traced_s": round(traced_s, 3),
+        "journaled_s": round(journaled_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
+        "journal_overhead": round(journaled_s / serial_s - 1.0, 4) if serial_s else None,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -137,6 +164,7 @@ def test_campaign_perf_trajectory():
         f"\n[bench] {scale.name} campaign ({scale.injections} injections): "
         f"serial {serial_s:.2f}s, parallel({workers}w) {parallel_s:.2f}s, "
         f"traced {traced_s:.2f}s (+{100 * entry['trace_overhead']:.1f}%), "
+        f"journaled {journaled_s:.2f}s (+{100 * entry['journal_overhead']:.1f}%), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

@@ -13,6 +13,12 @@ Subcommands mirror the library's main workflows::
 enables stage-level telemetry for the run and writes a JSONL trace file
 (see ``docs/observability.md``); ``trace summarize`` renders the
 stage-time table from such a file.
+
+``campaign`` additionally takes ``--journal PATH`` (fsync'd checkpoint
+journal for crash safety), ``--resume PATH`` (finish an interrupted
+journaled campaign; exits 3 when interrupted by the test hook) and
+``--watchdog-factor F`` (wall-clock hang deadline as a multiple of the
+golden run's wall time) — see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -113,31 +119,51 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a fault-injection campaign and print the resiliency profile."""
+    import time
+
+    from repro.faultinject.journal import CampaignInterrupted
+    from repro.faultinject.watchdog import WatchdogPolicy
+
     # Resolve the worker count before the (expensive) golden run, so a
     # malformed REPRO_WORKERS fails fast with a clear error.
     workers = args.workers if args.workers else default_workers()
+    journal_path = args.resume if args.resume is not None else args.journal
     with _maybe_traced(args):
         stream = make_input(args.input, n_frames=args.frames)
         config = config_for(args.algorithm)
+        golden_start = time.perf_counter()
         golden = golden_run(stream, config)
+        golden_wall_s = time.perf_counter() - golden_start
 
         def workload(ctx: ExecutionContext) -> np.ndarray:
             return run_vs(stream, config, ctx).panorama
 
-        kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
-        campaign = run_campaign(
-            workload,
-            golden.output,
-            golden.total_cycles,
-            CampaignConfig(
-                n_injections=args.n,
-                kind=kind,
-                seed=args.seed,
-                keep_sdc_outputs=False,
-                workers=workers,
-            ),
-            spec=VSWorkloadSpec.for_stream(stream, config),
+        watchdog = (
+            WatchdogPolicy.from_golden(golden_wall_s, soft_factor=args.watchdog_factor)
+            if args.watchdog_factor is not None
+            else None
         )
+        kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
+        try:
+            campaign = run_campaign(
+                workload,
+                golden.output,
+                golden.total_cycles,
+                CampaignConfig(
+                    n_injections=args.n,
+                    kind=kind,
+                    seed=args.seed,
+                    keep_sdc_outputs=False,
+                    workers=workers,
+                    watchdog=watchdog,
+                ),
+                spec=VSWorkloadSpec.for_stream(stream, config),
+                journal_path=journal_path,
+                resume=args.resume is not None,
+            )
+        except CampaignInterrupted as interrupted:
+            print(f"campaign interrupted: {interrupted}")
+            return 3
         counts = campaign.counts
         print(
             f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections "
@@ -283,6 +309,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="worker processes (default: REPRO_WORKERS or the CPU count)",
+    )
+    p_camp.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a crash-safe checkpoint journal (JSONL) here; "
+        "completed chunks survive a crash and can be resumed",
+    )
+    p_camp.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="resume a previous campaign from its journal: replay "
+        "journaled chunks, run only the remainder, keep journaling to "
+        "the same file (bit-identical to an uninterrupted run)",
+    )
+    p_camp.add_argument(
+        "--watchdog-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="enable the wall-clock watchdog: an injected run still going "
+        "after F times the golden run's wall time is classified HANG",
     )
     p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
     _add_trace_argument(p_camp)

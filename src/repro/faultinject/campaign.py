@@ -14,19 +14,29 @@ sites (cycle, register, bit) of one register kind, collecting:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro import telemetry
 from repro.faultinject.injector import InjectionPlan, random_plan
+from repro.faultinject.journal import (
+    CampaignJournal,
+    JournalError,
+    config_fingerprint,
+    load_journal,
+)
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 from repro.faultinject.outcomes import OutcomeCounts, RunningRates
 from repro.faultinject.parallel import (
+    RetryPolicy,
     WorkloadSpec,
+    compute_chunk_bounds,
     execute_plans_parallel,
     resolve_workers,
 )
 from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, LivenessModel, RegKind
+from repro.faultinject.watchdog import WatchdogPolicy
 
 
 @dataclass
@@ -45,6 +55,16 @@ class CampaignConfig:
     #: serial path).  Values above 1 take effect only when the caller
     #: supplies a picklable workload spec (see ``run_campaign``).
     workers: int | None = None
+    #: Wall-clock watchdog deadlines (see
+    #: :mod:`repro.faultinject.watchdog`).  ``None`` disables both the
+    #: per-injection soft deadline and the per-chunk hard deadline;
+    #: the simulated cycle-budget watchdog (``hang_factor``) is always
+    #: active either way.
+    watchdog: WatchdogPolicy | None = None
+    #: Chunk retry/backoff/degradation behaviour for worker failures
+    #: (see :class:`repro.faultinject.parallel.RetryPolicy`).  Never
+    #: affects results, only whether and how a campaign survives them.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -131,12 +151,45 @@ def assemble_campaign(
     )
 
 
+def _prepare_journal(
+    config: CampaignConfig,
+    n_plans: int,
+    workers: int,
+    journal_path: Path,
+    resume: bool,
+) -> tuple[CampaignJournal, list[tuple[int, int]], dict[int, list[InjectionResult]], bool]:
+    """Open (or reopen) the journal; returns (journal, bounds, completed, partial)."""
+    journal_path = Path(journal_path)
+    if not resume:
+        bounds = compute_chunk_bounds(n_plans, workers)
+        return CampaignJournal.create(journal_path, config, bounds), bounds, {}, False
+
+    state = load_journal(journal_path)
+    fingerprint = config_fingerprint(config)
+    if state.fingerprint != fingerprint:
+        raise JournalError(
+            f"journal {journal_path} was written by a different campaign "
+            f"configuration (journal {state.fingerprint} vs requested "
+            f"{fingerprint}); refusing to mix results"
+        )
+    bounds = state.chunk_bounds
+    if not bounds or bounds[-1][1] != n_plans or bounds[0][0] != 0:
+        raise JournalError(
+            f"journal {journal_path} chunk bounds {bounds!r} do not cover "
+            f"the campaign's {n_plans} injections"
+        )
+    journal = CampaignJournal.append_to(journal_path, chunks_written=len(state.chunks))
+    return journal, bounds, state.chunks, state.discarded_partial
+
+
 def run_campaign(
     workload: Workload,
     golden_output: np.ndarray,
     golden_cycles: int,
     config: CampaignConfig,
     spec: WorkloadSpec | None = None,
+    journal_path: Path | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run a full statistical injection campaign.
 
@@ -147,14 +200,24 @@ def run_campaign(
     :mod:`repro.faultinject.parallel`) is given and the resolved worker
     count exceeds 1, injections are sharded across a process pool and
     reassembled in order — the result is bit-identical to the serial
-    path regardless of the worker count.
+    path regardless of the worker count.  Worker deaths and stalled
+    chunks retry under ``config.retry`` and degrade toward in-process
+    execution rather than aborting (see ``docs/resilience.md``).
+
+    ``journal_path`` makes the campaign **crash-safe**: every completed
+    chunk is durably appended (fsync'd) to a JSONL checkpoint journal.
+    ``resume=True`` replays the journal's completed chunks — after
+    validating that its config fingerprint matches — and executes only
+    the remainder, producing a result bit-identical to an uninterrupted
+    run.  A torn trailing record from a mid-write crash is detected and
+    discarded; that chunk simply re-runs.
 
     With telemetry enabled (see :mod:`repro.telemetry`) the campaign
     additionally records phase spans, per-outcome counters and a
     progress heartbeat on stderr — none of which feed back into the
     campaign, so traced and untraced runs produce identical results.
     """
-    workers = resolve_workers(config.workers)
+    workers = resolve_workers(config.workers, max_useful=config.n_injections)
     with telemetry.span("campaign.draw_plans"):
         plans = draw_plans(config, golden_cycles)
 
@@ -164,10 +227,41 @@ def run_campaign(
         else None
     )
     progress = heartbeat.update if heartbeat is not None else None
+    annotate = heartbeat.annotate if heartbeat is not None else None
 
-    if spec is not None and workers > 1 and config.n_injections > 1:
+    if journal_path is not None:
+        journal, bounds, done, partial = _prepare_journal(
+            config, len(plans), workers, journal_path, resume
+        )
+        if heartbeat is not None and resume:
+            note = f"resumed {len(done)}/{len(bounds)} journaled chunks"
+            if partial:
+                note += " (discarded one torn record)"
+            heartbeat.annotate(note)
+        with telemetry.span("campaign.execute"), journal:
+            results = execute_plans_parallel(
+                spec,
+                config,
+                plans,
+                workers,
+                progress=progress,
+                local_state=(workload, golden_output, golden_cycles),
+                bounds=bounds,
+                completed=done,
+                journal=journal,
+                annotate=annotate,
+            )
+    elif spec is not None and workers > 1 and config.n_injections > 1:
         with telemetry.span("campaign.execute"):
-            results = execute_plans_parallel(spec, config, plans, workers, progress=progress)
+            results = execute_plans_parallel(
+                spec,
+                config,
+                plans,
+                workers,
+                progress=progress,
+                local_state=(workload, golden_output, golden_cycles),
+                annotate=annotate,
+            )
     else:
         monitor = FaultMonitor(
             workload,
@@ -177,6 +271,7 @@ def run_campaign(
             liveness=config.liveness,
             site_filter=config.site_filter,
             keep_sdc_outputs=config.keep_sdc_outputs,
+            watchdog=config.watchdog,
         )
         results = []
         with telemetry.span("campaign.execute"):

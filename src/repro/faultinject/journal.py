@@ -1,0 +1,397 @@
+"""Durable campaign checkpoint journal: crash-safe, resumable campaigns.
+
+Large campaigns (thousands of injections per cell) must not lose hours
+of completed work to one crashed worker, an OOM kill, or a power cut.
+The journal is a schema-versioned JSONL file the campaign engine
+appends to as chunks complete:
+
+* line 1 — a ``header`` record: schema version, a fingerprint of every
+  config field that affects results, and the chunk boundaries, so a
+  resume can detect config drift and re-chunk exactly as the original
+  run did (chunking depends on the original worker count);
+* then one ``chunk`` record per completed injection chunk, carrying the
+  chunk's fully serialized :class:`InjectionResult` list plus a CRC32
+  of the payload.  Every append is flushed **and fsync'd**, so a record
+  that made it into the file survives the process.
+
+``repro campaign --resume PATH`` (and ``run_campaign(...,
+journal_path=..., resume=True)``) replays journaled chunks and executes
+only the remainder — bit-identical to an uninterrupted run, because
+results are reassembled in plan order before statistics are computed
+and every per-run RNG derives from ``(seed, index)`` alone.
+
+A torn final record (truncated line, or a line whose CRC does not match
+— the write raced the crash) is detected on load and **discarded**; its
+chunk simply re-runs.  Payload arrays (SDC outputs) round-trip through
+base64 with dtype and shape, so restored corrupted outputs are
+byte-identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.faultinject.injector import InjectionPlan, InjectionRecord
+from repro.faultinject.monitor import InjectionResult
+from repro.faultinject.outcomes import CrashKind, HangKind, Outcome
+from repro.faultinject.registers import FlipEffect, RegKind, Role
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faultinject.campaign import CampaignConfig
+
+#: Bump when a record's shape changes incompatibly; loaders reject
+#: journals from other schema versions rather than misreading them.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Test/CI hook: abort the campaign after this many journal appends, to
+#: exercise the interrupt->resume path deterministically.
+ABORT_AFTER_ENV = "REPRO_JOURNAL_ABORT_AFTER"
+
+
+class JournalError(ValueError):
+    """The journal file cannot be used (bad schema, config mismatch)."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """The campaign stopped early on purpose (the abort-after test hook).
+
+    Everything journaled so far is durable; re-run with ``--resume`` to
+    finish the remainder.
+    """
+
+    def __init__(self, journal_path: Path, chunks_done: int) -> None:
+        self.journal_path = Path(journal_path)
+        self.chunks_done = chunks_done
+        super().__init__(
+            f"campaign interrupted after {chunks_done} journaled chunk(s); "
+            f"resume with --resume {journal_path}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _plan_to_dict(plan: InjectionPlan) -> dict:
+    return {
+        "target_cycle": plan.target_cycle,
+        "kind": plan.kind.value,
+        "register": plan.register,
+        "bit": plan.bit,
+    }
+
+
+def _plan_from_dict(data: dict) -> InjectionPlan:
+    return InjectionPlan(
+        target_cycle=data["target_cycle"],
+        kind=RegKind(data["kind"]),
+        register=data["register"],
+        bit=data["bit"],
+    )
+
+
+def _array_to_dict(array: np.ndarray) -> dict:
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def _array_from_dict(data: dict) -> np.ndarray:
+    raw = base64.b64decode(data["data"])
+    return np.frombuffer(raw, dtype=np.dtype(data["dtype"])).reshape(data["shape"]).copy()
+
+
+def serialize_result(result: InjectionResult) -> dict:
+    """One injection result as a JSON-serializable dict (lossless)."""
+    record = result.record
+    return {
+        "plan": _plan_to_dict(result.plan),
+        "record": {
+            "fired": record.fired,
+            "fired_cycle": record.fired_cycle,
+            "site": record.site,
+            "binding_name": record.binding_name,
+            "role": record.role.value if record.role is not None else None,
+            "effect": record.effect.value if record.effect is not None else None,
+            "in_study": record.in_study,
+        },
+        "outcome": result.outcome.value,
+        "crash_kind": result.crash_kind.value if result.crash_kind is not None else None,
+        "hang_kind": result.hang_kind.value if result.hang_kind is not None else None,
+        "cycles": result.cycles,
+        "output": _array_to_dict(result.output) if result.output is not None else None,
+    }
+
+
+def deserialize_result(data: dict) -> InjectionResult:
+    """Rebuild an :class:`InjectionResult` from :func:`serialize_result`."""
+    plan = _plan_from_dict(data["plan"])
+    rec = data["record"]
+    record = InjectionRecord(
+        plan=plan,
+        fired=rec["fired"],
+        fired_cycle=rec["fired_cycle"],
+        site=rec["site"],
+        binding_name=rec["binding_name"],
+        role=Role(rec["role"]) if rec["role"] is not None else None,
+        effect=FlipEffect(rec["effect"]) if rec["effect"] is not None else None,
+        in_study=rec["in_study"],
+    )
+    return InjectionResult(
+        plan=plan,
+        record=record,
+        outcome=Outcome(data["outcome"]),
+        crash_kind=CrashKind(data["crash_kind"]) if data["crash_kind"] is not None else None,
+        hang_kind=HangKind(data["hang_kind"]) if data["hang_kind"] is not None else None,
+        output=_array_from_dict(data["output"]) if data["output"] is not None else None,
+        cycles=data["cycles"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Config fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(config: "CampaignConfig") -> dict:
+    """Every config field that affects campaign *results*.
+
+    Execution knobs (workers, retry policy) are deliberately excluded —
+    the engine guarantees they never change results — but the watchdog
+    soft deadline is included because it can reclassify a stalled run.
+    A resume whose fingerprint differs from the journal's header is
+    refused: mixing results from two different campaigns would be
+    silently wrong.
+    """
+    watchdog = config.watchdog
+    return {
+        "n_injections": config.n_injections,
+        "kind": config.kind.value,
+        "seed": config.seed,
+        "hang_factor": config.hang_factor,
+        "site_filter": config.site_filter,
+        "keep_sdc_outputs": config.keep_sdc_outputs,
+        "watchdog_soft_deadline_s": watchdog.soft_deadline_s if watchdog else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _abort_after_from_env() -> int | None:
+    raw = os.environ.get(ABORT_AFTER_ENV)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ABORT_AFTER_ENV} must be an integer chunk count, got {raw!r}"
+        ) from None
+    return value if value >= 1 else None
+
+
+class CampaignJournal:
+    """Append-only writer for one campaign's checkpoint journal.
+
+    Create with :meth:`create` for a fresh campaign (writes the header)
+    or :meth:`append_to` when resuming (the header already exists).
+    Every :meth:`append_chunk` writes one complete JSON line, flushes,
+    and fsyncs before returning — once it returns, that chunk survives
+    any crash of this process.
+    """
+
+    def __init__(self, path: Path, handle, chunks_written: int = 0) -> None:
+        self.path = Path(path)
+        self._handle = handle
+        self.chunks_written = chunks_written
+        self._abort_after = _abort_after_from_env()
+
+    @classmethod
+    def create(
+        cls, path: Path, config: "CampaignConfig", bounds: list[tuple[int, int]]
+    ) -> "CampaignJournal":
+        """Start a fresh journal at ``path`` (truncating any old file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(path, "w", encoding="utf-8")
+        header = {
+            "type": "header",
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "fingerprint": config_fingerprint(config),
+            "chunk_bounds": [[start, stop] for start, stop in bounds],
+        }
+        journal = cls(path, handle)
+        journal._write_line(header)
+        return journal
+
+    @classmethod
+    def append_to(cls, path: Path, chunks_written: int) -> "CampaignJournal":
+        """Reopen ``path`` for appending after :func:`load_journal`.
+
+        The loader already discarded any torn trailing record *from its
+        view*; the file itself may still end with the torn bytes, so the
+        writer first truncates to the last complete line boundary.
+        """
+        path = Path(path)
+        _truncate_to_complete_lines(path)
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, handle, chunks_written=chunks_written)
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_chunk(self, chunk_index: int, results: list[InjectionResult]) -> None:
+        """Durably record one completed chunk's results."""
+        payload = [serialize_result(result) for result in results]
+        encoded = json.dumps(payload, separators=(",", ":"))
+        self._write_line(
+            {
+                "type": "chunk",
+                "chunk_index": chunk_index,
+                "n_results": len(results),
+                "crc32": zlib.crc32(encoded.encode("utf-8")),
+                "results": payload,
+            }
+        )
+        self.chunks_written += 1
+        if self._abort_after is not None and self.chunks_written >= self._abort_after:
+            self.close()
+            raise CampaignInterrupted(self.path, self.chunks_written)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _truncate_to_complete_lines(path: Path) -> None:
+    """Drop any trailing bytes after the last newline (a torn record)."""
+    data = path.read_bytes()
+    if data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalState:
+    """Everything recovered from an existing journal file."""
+
+    path: Path
+    fingerprint: dict
+    chunk_bounds: list[tuple[int, int]]
+    #: Completed chunks, keyed by chunk index.
+    chunks: dict[int, list[InjectionResult]] = field(default_factory=dict)
+    #: True when a torn/corrupt trailing record was found and dropped.
+    discarded_partial: bool = False
+
+    @property
+    def injections_done(self) -> int:
+        return sum(len(results) for results in self.chunks.values())
+
+
+def load_journal(path: Path) -> JournalState:
+    """Read a journal, validating schema and integrity.
+
+    Raises :class:`JournalError` for a missing/empty file, an unreadable
+    or wrong-schema header, or structurally impossible chunk records
+    (bad index, length mismatch with the header's bounds).  A torn or
+    CRC-failing record at the *end* of the file — the expected shape of
+    a crash — is silently discarded and flagged via
+    ``discarded_partial``; corruption anywhere earlier also discards
+    that record (its chunk just re-runs) since chunks are independent.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"journal {path} does not exist")
+    raw_lines = path.read_bytes().split(b"\n")
+    # A well-formed file ends with "\n": the final split element is "".
+    # Anything non-empty there is a torn trailing record.
+    torn_tail = raw_lines[-1] != b""
+    lines = [line for line in raw_lines if line]
+    if not lines:
+        raise JournalError(f"journal {path} is empty")
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"journal {path}: unreadable header: {exc}") from None
+    if header.get("type") != "header":
+        raise JournalError(f"journal {path}: first record is not a header")
+    if header.get("schema") != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"journal {path}: schema {header.get('schema')!r} is not "
+            f"supported (expected {JOURNAL_SCHEMA_VERSION})"
+        )
+    bounds = [(int(start), int(stop)) for start, stop in header["chunk_bounds"]]
+
+    state = JournalState(
+        path=path,
+        fingerprint=header["fingerprint"],
+        chunk_bounds=bounds,
+        discarded_partial=torn_tail,
+    )
+    for line_number, line in enumerate(lines[1:], start=2):
+        record = _parse_chunk_record(line, bounds)
+        if record is None:
+            # Torn or corrupt record: drop it (and keep scanning — later
+            # records are independent and may be intact).
+            state.discarded_partial = True
+            continue
+        chunk_index, results = record
+        state.chunks[chunk_index] = results
+    return state
+
+
+def _parse_chunk_record(
+    line: bytes, bounds: list[tuple[int, int]]
+) -> tuple[int, list[InjectionResult]] | None:
+    """Parse one chunk line; None for anything torn or inconsistent."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("type") != "chunk":
+        return None
+    chunk_index = record.get("chunk_index")
+    if not isinstance(chunk_index, int) or not 0 <= chunk_index < len(bounds):
+        return None
+    payload = record.get("results")
+    start, stop = bounds[chunk_index]
+    if not isinstance(payload, list) or len(payload) != stop - start:
+        return None
+    encoded = json.dumps(payload, separators=(",", ":"))
+    if zlib.crc32(encoded.encode("utf-8")) != record.get("crc32"):
+        return None
+    try:
+        return chunk_index, [deserialize_result(item) for item in payload]
+    except (KeyError, ValueError, TypeError):
+        return None

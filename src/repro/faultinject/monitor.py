@@ -16,8 +16,15 @@ import numpy as np
 
 from repro import telemetry
 from repro.faultinject.injector import FaultInjector, InjectionPlan, InjectionRecord
-from repro.faultinject.outcomes import CrashKind, Outcome, classify_exception
+from repro.faultinject.outcomes import (
+    CrashKind,
+    HangKind,
+    Outcome,
+    classify_exception,
+    hang_kind_for,
+)
 from repro.faultinject.registers import LivenessModel
+from repro.faultinject.watchdog import WatchdogPolicy, call_with_deadline
 from repro.imaging.image import images_equal
 from repro.runtime.context import ExecutionContext
 
@@ -36,6 +43,7 @@ class InjectionResult:
     record: InjectionRecord
     outcome: Outcome
     crash_kind: CrashKind | None = None
+    hang_kind: HangKind | None = None  # set for HANG outcomes only
     output: np.ndarray | None = None  # the corrupted output for SDC runs
     cycles: int = 0
 
@@ -57,6 +65,7 @@ class FaultMonitor:
         liveness: Optional[LivenessModel] = None,
         site_filter: Optional[str] = None,
         keep_sdc_outputs: bool = True,
+        watchdog: Optional[WatchdogPolicy] = None,
     ) -> None:
         if golden_cycles <= 0:
             raise ValueError(f"golden_cycles must be positive, got {golden_cycles}")
@@ -67,6 +76,7 @@ class FaultMonitor:
         self.liveness = liveness
         self.site_filter = site_filter
         self.keep_sdc_outputs = keep_sdc_outputs
+        self.watchdog = watchdog
 
     def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         """Execute one injected run and classify the result."""
@@ -76,6 +86,8 @@ class FaultMonitor:
             # classification, so traced and untraced campaigns agree.
             telemetry.counter_inc("campaign.runs")
             telemetry.counter_inc(f"campaign.outcome.{result.outcome.value}")
+            if result.hang_kind is HangKind.WATCHDOG:
+                telemetry.counter_inc("campaign.watchdog_hangs")
             if result.record.fired:
                 telemetry.counter_inc("campaign.fired")
         return result
@@ -88,8 +100,13 @@ class FaultMonitor:
             site_filter=self.site_filter,
         )
         ctx = ExecutionContext(injector=injector, watchdog_cycles=self.watchdog_cycles)
+        soft_deadline = self.watchdog.soft_deadline_s if self.watchdog is not None else None
         try:
-            output = self.workload(ctx)
+            # With no soft deadline this is a direct call (no thread);
+            # with one, the workload runs on a watched daemon thread and
+            # a wall-clock stall surfaces as WatchdogExpired -> a real
+            # HANG, where the cycle watchdog could never fire.
+            output = call_with_deadline(lambda: self.workload(ctx), soft_deadline)
         except Exception as exc:  # noqa: BLE001 - classified below, bugs re-raised
             outcome, crash_kind = classify_exception(exc)
             return InjectionResult(
@@ -97,6 +114,7 @@ class FaultMonitor:
                 record=injector.record,
                 outcome=outcome,
                 crash_kind=crash_kind,
+                hang_kind=hang_kind_for(exc),
                 cycles=ctx.cycles,
             )
 

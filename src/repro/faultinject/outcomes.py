@@ -12,6 +12,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro.faultinject.watchdog import WatchdogExpired
 from repro.runtime.errors import (
     HangDetected,
     InsufficientMatchesError,
@@ -34,6 +35,22 @@ class CrashKind(Enum):
 
     SEGV = "segv"  # memory access violation
     ABORT = "abort"  # library-internal constraint violation
+
+
+class HangKind(Enum):
+    """Sub-classification of Hang outcomes.
+
+    ``SIMULATED`` hangs come from the cycle-budget watchdog
+    (:class:`~repro.runtime.errors.HangDetected`): the workload kept
+    running the simulated machine past its cycle budget.  ``WATCHDOG``
+    hangs are *real* wall-clock stalls caught by the monitor-thread
+    deadline (:mod:`repro.faultinject.watchdog`): the workload stopped
+    making progress entirely, so the cycle watchdog could never fire.
+    Both count as the paper's Hang outcome; the split is diagnostic.
+    """
+
+    SIMULATED = "simulated"
+    WATCHDOG = "watchdog"
 
 
 #: Exception types that model a memory access violation (SIGSEGV).
@@ -60,13 +77,22 @@ def classify_exception(exc: BaseException) -> tuple[Outcome, CrashKind | None]:
     Unrecognized exception types are *not* silently classified — they
     indicate a library bug and are re-raised by the monitor.
     """
-    if isinstance(exc, HangDetected):
+    if isinstance(exc, (HangDetected, WatchdogExpired)):
         return Outcome.HANG, None
     if isinstance(exc, _SEGV_TYPES):
         return Outcome.CRASH, CrashKind.SEGV
     if isinstance(exc, _ABORT_TYPES):
         return Outcome.CRASH, CrashKind.ABORT
     raise exc
+
+
+def hang_kind_for(exc: BaseException) -> HangKind | None:
+    """The Hang sub-kind for an exception, or None for non-hangs."""
+    if isinstance(exc, WatchdogExpired):
+        return HangKind.WATCHDOG
+    if isinstance(exc, HangDetected):
+        return HangKind.SIMULATED
+    return None
 
 
 @dataclass

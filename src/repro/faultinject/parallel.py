@@ -19,11 +19,25 @@ golden outputs), they cannot be pickled to workers.  Instead a small
 picklable :class:`WorkloadSpec` describes how to *rebuild* the workload
 — workers reconstruct it once per process and cache it, so golden
 outputs are shared via the spec rather than shipped with every task.
+
+The engine is additionally **crash-safe** (see ``docs/resilience.md``):
+a chunk whose worker dies (OOM kill, segfault of the interpreter) is
+retried with exponential backoff and jitter under a bounded retry
+budget; repeated pool failures degrade the worker count and ultimately
+fall back to in-process serial execution, so a campaign finishes —
+bit-identically — as long as the parent survives.  An optional
+:class:`~repro.faultinject.journal.CampaignJournal` makes completed
+chunks durable across *parent* crashes too, and a
+:class:`~repro.faultinject.watchdog.WatchdogPolicy` hard deadline
+bounds how long the parent waits on any one chunk before declaring its
+worker lost.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -37,12 +51,44 @@ from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.campaign import CampaignConfig
+    from repro.faultinject.journal import CampaignJournal
 
 #: Environment variable overriding the worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
 #: Task chunks dispatched per worker (load-balancing granularity).
 CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded chunk-retry behaviour for worker failures.
+
+    A *failure* here is infrastructure-level — a worker process killed
+    by the OS or a chunk exceeding its hard wall-clock deadline — never
+    a workload exception (those are classified outcomes or library
+    bugs, and bugs propagate unchanged on the first occurrence).
+
+    Backoff is exponential with multiplicative jitter so a transient
+    cause (memory pressure, a noisy neighbour) gets time to clear and
+    retries from concurrent campaigns do not synchronize.  After
+    ``degrade_after`` failures each subsequent round also halves the
+    worker count — the classic response when the failure *is* the
+    parallelism (OOM from too many resident golden copies).  When the
+    budget is exhausted the engine falls back to in-process serial
+    execution of the remaining chunks.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.25
+    backoff_max_s: float = 5.0
+    jitter_frac: float = 0.25
+    degrade_after: int = 2
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        base = min(self.backoff_max_s, self.backoff_base_s * (2.0 ** (attempt - 1)))
+        return base * (1.0 + self.jitter_frac * rng.random())
 
 
 @runtime_checkable
@@ -124,7 +170,7 @@ def _workers_from_env() -> int | None:
     return _parse_workers(env, WORKERS_ENV)
 
 
-def resolve_workers(requested: int | None = None) -> int:
+def resolve_workers(requested: int | None = None, max_useful: int | None = None) -> int:
     """Resolve an explicit or configured worker count.
 
     An explicit ``requested`` wins (and must be >= 1 — zero and negative
@@ -132,13 +178,21 @@ def resolve_workers(requested: int | None = None) -> int:
     otherwise ``REPRO_WORKERS`` from the environment; otherwise 1 (the
     conservative library default — entry points that want machine-wide
     fan-out use :func:`default_workers`).
+
+    ``max_useful`` (when given, the number of planned injections) caps
+    the result: spawning eight processes for a three-injection campaign
+    only buys three idle workers' startup cost.  Validation still runs
+    first, so a malformed request fails loudly rather than being hidden
+    by the clamp.
     """
     if requested is not None:
-        return _parse_workers(requested, "workers")
-    env_workers = _workers_from_env()
-    if env_workers is not None:
-        return env_workers
-    return 1
+        workers = _parse_workers(requested, "workers")
+    else:
+        env_workers = _workers_from_env()
+        workers = env_workers if env_workers is not None else 1
+    if max_useful is not None and max_useful >= 1:
+        workers = min(workers, max_useful)
+    return workers
 
 
 def default_workers() -> int:
@@ -167,6 +221,43 @@ def _workload_state(spec: WorkloadSpec) -> tuple[Workload, np.ndarray, int]:
     return state
 
 
+def monitor_for(
+    workload: Workload,
+    golden_output: np.ndarray,
+    golden_cycles: int,
+    config: "CampaignConfig",
+) -> FaultMonitor:
+    """A fault monitor configured exactly as the campaign prescribes."""
+    return FaultMonitor(
+        workload,
+        golden_output,
+        golden_cycles,
+        hang_factor=config.hang_factor,
+        liveness=config.liveness,
+        site_filter=config.site_filter,
+        keep_sdc_outputs=config.keep_sdc_outputs,
+        watchdog=config.watchdog,
+    )
+
+
+def run_chunk_on_monitor(
+    monitor: FaultMonitor,
+    config: "CampaignConfig",
+    chunk: list[tuple[int, InjectionPlan]],
+) -> list[InjectionResult]:
+    """Execute one chunk of ``(index, plan)`` pairs on ``monitor``.
+
+    The single source of the per-run RNG derivation — serial, worker
+    and degraded-fallback execution all run chunks through here, which
+    is what makes their results interchangeable bit for bit.
+    """
+    results = []
+    for index, plan in chunk:
+        run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
+        results.append(monitor.run_injected(plan, run_rng))
+    return results
+
+
 def run_injection_chunk(
     spec: WorkloadSpec,
     config: "CampaignConfig",
@@ -178,20 +269,8 @@ def run_injection_chunk(
     (the serial path and the tests go through the same code).
     """
     workload, golden_output, golden_cycles = _workload_state(spec)
-    monitor = FaultMonitor(
-        workload,
-        golden_output,
-        golden_cycles,
-        hang_factor=config.hang_factor,
-        liveness=config.liveness,
-        site_filter=config.site_filter,
-        keep_sdc_outputs=config.keep_sdc_outputs,
-    )
-    results = []
-    for index, plan in chunk:
-        run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
-        results.append(monitor.run_injected(plan, run_rng))
-    return results
+    monitor = monitor_for(workload, golden_output, golden_cycles, config)
+    return run_chunk_on_monitor(monitor, config, chunk)
 
 
 def run_injection_chunk_metered(
@@ -221,67 +300,257 @@ def run_injection_chunk_metered(
 # ---------------------------------------------------------------------------
 
 
-def chunk_indexed_plans(
-    plans: list[InjectionPlan], workers: int
-) -> list[list[tuple[int, InjectionPlan]]]:
-    """Split the plan list into order-preserving contiguous chunks."""
-    indexed = list(enumerate(plans))
-    if not indexed:
+def compute_chunk_bounds(n_plans: int, workers: int) -> list[tuple[int, int]]:
+    """Deterministic contiguous ``(start, stop)`` chunk boundaries.
+
+    Resume depends on replaying the original run's exact chunking, so
+    the boundaries are a pure function of ``(n_plans, workers)`` and the
+    journal header records them verbatim.
+    """
+    if n_plans <= 0:
         return []
-    n_chunks = min(len(indexed), max(1, workers) * CHUNKS_PER_WORKER)
-    bounds = np.linspace(0, len(indexed), n_chunks + 1).astype(int)
+    n_chunks = min(n_plans, max(1, workers) * CHUNKS_PER_WORKER)
+    edges = np.linspace(0, n_plans, n_chunks + 1).astype(int)
     return [
-        indexed[start:stop]
-        for start, stop in zip(bounds[:-1], bounds[1:])
+        (int(start), int(stop))
+        for start, stop in zip(edges[:-1], edges[1:])
         if stop > start
     ]
 
 
+def chunks_from_bounds(
+    plans: list[InjectionPlan], bounds: list[tuple[int, int]]
+) -> list[list[tuple[int, InjectionPlan]]]:
+    """Materialize the indexed plan chunks for the given boundaries."""
+    indexed = list(enumerate(plans))
+    return [indexed[start:stop] for start, stop in bounds]
+
+
+def chunk_indexed_plans(
+    plans: list[InjectionPlan], workers: int
+) -> list[list[tuple[int, InjectionPlan]]]:
+    """Split the plan list into order-preserving contiguous chunks."""
+    return chunks_from_bounds(plans, compute_chunk_bounds(len(plans), workers))
+
+
+def _terminate_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's workers (a chunk blew its hard deadline).
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown``
+    joins workers, which would block on the stuck one forever — so this
+    reaches into the private process table.  Guarded defensively: if
+    the attribute moves, the engine degrades to waiting (correct, just
+    slower).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+class _ChunkCollector:
+    """Secures completed chunks: results, telemetry snapshot, journal.
+
+    ``progress`` is reported as the cumulative injection count over all
+    secured chunks (journal-replayed ones included), and snapshots are
+    merged into the parent tracer at :meth:`finish` in ascending chunk
+    order so the aggregated metrics stay deterministic no matter what
+    order retries completed in.
+    """
+
+    def __init__(
+        self,
+        tracer,
+        journal: "CampaignJournal | None",
+        progress: Callable[[int], None] | None,
+        completed: dict[int, list[InjectionResult]],
+    ) -> None:
+        self.tracer = tracer
+        self.journal = journal
+        self.progress = progress
+        self.results_by_chunk: dict[int, list[InjectionResult]] = dict(completed)
+        self.snapshots: dict[int, dict] = {}
+
+    @property
+    def injections_done(self) -> int:
+        return sum(len(results) for results in self.results_by_chunk.values())
+
+    def secure(self, chunk_index: int, chunk_result) -> None:
+        """Record one freshly executed chunk (journal before reporting)."""
+        if self.tracer is not None:
+            results, snapshot = chunk_result
+            self.snapshots[chunk_index] = snapshot
+        else:
+            results = chunk_result
+        self.results_by_chunk[chunk_index] = results
+        if self.journal is not None:
+            # Durability first: only a journaled chunk counts as done.
+            # May raise CampaignInterrupted (the abort-after test hook).
+            self.journal.append_chunk(chunk_index, results)
+        if self.progress is not None:
+            self.progress(self.injections_done)
+
+    def finish(self, n_chunks: int) -> list[InjectionResult]:
+        """Merge telemetry in chunk order and flatten results in order."""
+        if self.tracer is not None:
+            for chunk_index in sorted(self.snapshots):
+                self.tracer.registry.merge_snapshot(self.snapshots[chunk_index])
+        assert sorted(self.results_by_chunk) == list(range(n_chunks))
+        return [
+            result
+            for chunk_index in range(n_chunks)
+            for result in self.results_by_chunk[chunk_index]
+        ]
+
+
 def execute_plans_parallel(
-    spec: WorkloadSpec,
+    spec: WorkloadSpec | None,
     config: "CampaignConfig",
     plans: list[InjectionPlan],
     workers: int,
     progress: Callable[[int], None] | None = None,
+    *,
+    local_state: tuple[Workload, np.ndarray, int] | None = None,
+    bounds: list[tuple[int, int]] | None = None,
+    completed: dict[int, list[InjectionResult]] | None = None,
+    journal: "CampaignJournal | None" = None,
+    annotate: Callable[[str], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> list[InjectionResult]:
-    """Run all plans across a process pool, in injection order.
+    """Run all plans, in injection order, surviving worker failures.
 
-    Worker crashes (a dead process, not a classified workload outcome)
-    surface as a ``RuntimeError`` rather than a hang; workload
-    exceptions that the monitor does not classify propagate unchanged.
+    The happy path dispatches chunks to a process pool and drains them
+    in chunk order.  Infrastructure failures — a worker killed by the
+    OS (``BrokenProcessPool``) or a chunk exceeding its hard wall-clock
+    deadline — never abort the campaign: already-finished chunks are
+    swept from the broken pool, the remainder is retried under
+    ``config.retry`` (exponential backoff + jitter, bounded attempts,
+    worker-count degradation), and once the budget is exhausted the
+    remaining chunks run in-process serially.  Workload exceptions that
+    the monitor does not classify still propagate unchanged — those are
+    library bugs, not infrastructure.
 
-    When telemetry is enabled, each chunk additionally returns a
-    worker-side metric snapshot; snapshots are merged into the parent
-    tracer **in chunk order**, so the aggregated metrics are
-    deterministic, matching the ordered reassembly of the results
-    themselves.  ``progress``, when given, is called with the cumulative
-    number of completed injections as ordered chunks drain.
+    ``completed`` chunks (from a journal replay) are skipped;
+    ``journal`` makes each newly finished chunk durable before it is
+    counted.  ``bounds`` pins the chunk boundaries (resume must reuse
+    the original run's); by default they derive from ``workers``.
+
+    When telemetry is enabled, each chunk returns a worker-side metric
+    snapshot; snapshots are merged into the parent tracer **in chunk
+    order** at the end, so the aggregated metrics are deterministic
+    regardless of retry scheduling.  ``progress``, when given, receives
+    the cumulative number of completed injections; ``annotate`` receives
+    human-readable notes about retries and degradation (wired to the
+    heartbeat by the campaign driver).
     """
-    chunks = chunk_indexed_plans(plans, workers)
+    if bounds is None:
+        bounds = compute_chunk_bounds(len(plans), workers)
+    chunks = chunks_from_bounds(plans, bounds)
     if not chunks:
         return []
+    retry = config.retry if config.retry is not None else RetryPolicy()
+    watchdog = config.watchdog
     tracer = telemetry.get_tracer()
     chunk_fn = run_injection_chunk_metered if tracer is not None else run_injection_chunk
-    results: list[InjectionResult] = []
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for chunk_result in pool.map(
-                chunk_fn,
-                [spec] * len(chunks),
-                [config] * len(chunks),
-                chunks,
-            ):
-                if tracer is not None:
-                    chunk_results_part, snapshot = chunk_result
-                    tracer.registry.merge_snapshot(snapshot)
-                else:
-                    chunk_results_part = chunk_result
-                results.extend(chunk_results_part)
-                if progress is not None:
-                    progress(len(results))
-    except BrokenProcessPool as exc:
-        raise RuntimeError(
-            "campaign worker process died unexpectedly; re-run with workers=1 "
-            "to reproduce the failure in-process"
-        ) from exc
-    return results
+    collector = _ChunkCollector(tracer, journal, progress, completed or {})
+    if collector.results_by_chunk and progress is not None:
+        progress(collector.injections_done)
+
+    pending = [i for i in range(len(chunks)) if i not in collector.results_by_chunk]
+    # Jitter RNG: timing-only, never touches result determinism.
+    jitter_rng = random.Random(config.seed ^ 0x5EED)
+    pool_workers = min(workers, len(pending)) if pending else workers
+    attempt = 0
+
+    while pending and spec is not None and pool_workers > 1:
+        pool = ProcessPoolExecutor(max_workers=pool_workers)
+        try:
+            futures = {
+                index: pool.submit(chunk_fn, spec, config, chunks[index])
+                for index in pending
+            }
+            for index in list(pending):
+                deadline = (
+                    watchdog.chunk_deadline(len(chunks[index]))
+                    if watchdog is not None
+                    else None
+                )
+                collector.secure(index, futures[index].result(timeout=deadline))
+                pending.remove(index)
+            pool.shutdown(wait=True)
+            break
+        except (BrokenProcessPool, TimeoutError) as exc:
+            # Salvage chunks that finished before the failure, then
+            # retry the rest (the failed chunk re-runs from scratch —
+            # per-run RNGs derive from (seed, index), so a re-run is
+            # bit-identical to a first run).
+            if isinstance(exc, TimeoutError):
+                _terminate_pool_processes(pool)
+            for index in list(pending):
+                future = futures.get(index)
+                if (
+                    future is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    collector.secure(index, future.result())
+                    pending.remove(index)
+            pool.shutdown(wait=False, cancel_futures=True)
+            attempt += 1
+            telemetry.counter_inc("campaign.retries")
+            cause = (
+                "chunk exceeded its hard deadline"
+                if isinstance(exc, TimeoutError)
+                else "worker process died"
+            )
+            if attempt > retry.max_retries:
+                telemetry.counter_inc("campaign.degraded")
+                if annotate is not None:
+                    annotate(
+                        f"{cause}; retry budget exhausted after {attempt - 1} "
+                        f"retries — degrading to in-process serial execution"
+                    )
+                break
+            if attempt >= retry.degrade_after and pool_workers > 1:
+                pool_workers = max(1, pool_workers // 2)
+                telemetry.counter_inc("campaign.degraded")
+            if annotate is not None:
+                annotate(
+                    f"{cause}; retry {attempt}/{retry.max_retries} "
+                    f"({len(pending)} chunks left, {pool_workers} workers)"
+                )
+            sleep(retry.delay_s(attempt, jitter_rng))
+        except BaseException:
+            # Workload bugs, CampaignInterrupted, KeyboardInterrupt:
+            # release the pool without waiting on stragglers.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    if pending:
+        # Serial in-process fallback (also the spec-less/journal-only
+        # path): same chunk runner, same RNG derivation, same results.
+        if local_state is not None:
+            workload, golden_output, golden_cycles = local_state
+        elif spec is not None:
+            workload, golden_output, golden_cycles = _workload_state(spec)
+        else:
+            raise ValueError(
+                "execute_plans_parallel needs a spec or local_state to run chunks"
+            )
+        monitor = monitor_for(workload, golden_output, golden_cycles, config)
+        for index in list(pending):
+            if tracer is not None:
+                fresh, previous = telemetry.swap_in_fresh_tracer()
+                try:
+                    results = run_chunk_on_monitor(monitor, config, chunks[index])
+                finally:
+                    telemetry.restore_tracer(previous)
+                collector.secure(index, (results, fresh.registry.snapshot()))
+            else:
+                collector.secure(index, run_chunk_on_monitor(monitor, config, chunks[index]))
+            pending.remove(index)
+
+    return collector.finish(len(chunks))

@@ -1,0 +1,137 @@
+"""Wall-clock watchdog: detect *real* stalls, not just simulated ones.
+
+The simulated machine already models the paper's Hang outcome with a
+cycle budget (:class:`~repro.runtime.errors.HangDetected`), but that
+only fires when the workload keeps calling ``tick``.  A genuinely hung
+injection — corrupted state that parks the program in a blocking call,
+an I/O wait, or a pathological numpy path — never ticks again, so the
+cycle watchdog can never see it.  This module adds the missing layer:
+
+* a **per-injection soft deadline**: the monitor runs the workload on a
+  watched thread and joins it with a wall-clock timeout.  If the thread
+  is still alive at the deadline the run is classified
+  ``Outcome.HANG`` / ``HangKind.WATCHDOG`` and the campaign moves on
+  (the abandoned daemon thread is left to drain; its result, if it ever
+  arrives, is discarded).
+* a **per-chunk hard deadline**: the parent bounds how long it waits
+  for a worker chunk before treating the worker as lost and entering
+  the retry/degrade path (see :mod:`repro.faultinject.parallel`).
+
+Deadlines are derived from a golden-run calibration multiplier
+(:meth:`WatchdogPolicy.from_golden`): a clean run takes ``wall_s``
+seconds, so any injected run still going after ``soft_factor *
+wall_s`` seconds is declared hung — the wall-clock analog of the cycle
+watchdog's ``hang_factor``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+class WatchdogExpired(Exception):
+    """A watched call exceeded its wall-clock deadline.
+
+    Raised by :func:`call_with_deadline` in place of the workload's
+    return value; the fault monitor classifies it as a Hang with
+    ``HangKind.WATCHDOG`` (a real stall), distinct from the simulated
+    cycle-budget :class:`~repro.runtime.errors.HangDetected` path.
+    """
+
+    def __init__(self, elapsed_s: float, deadline_s: float) -> None:
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"wall-clock watchdog expired: {elapsed_s:.3f}s > deadline {deadline_s:.3f}s"
+        )
+
+
+#: Sentinel distinguishing "thread produced nothing yet" from None results.
+_PENDING = object()
+
+
+def call_with_deadline(fn, deadline_s: float | None):
+    """Run ``fn()`` and return its result, bounded by ``deadline_s`` seconds.
+
+    With ``deadline_s`` None the call is direct — zero overhead, no
+    thread.  Otherwise ``fn`` runs on a daemon thread that the caller
+    joins with the deadline as timeout; on expiry a
+    :class:`WatchdogExpired` is raised and the thread is abandoned
+    (daemonized, so it cannot block interpreter exit).  Exceptions from
+    ``fn`` propagate unchanged, so classification of crashes and
+    simulated hangs is identical with or without the watchdog.
+    """
+    if deadline_s is None:
+        return fn()
+    box: list = [_PENDING, None]  # [result, exception]
+
+    def target() -> None:
+        try:
+            box[0] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in the caller
+            box[1] = exc
+
+    start = time.monotonic()
+    thread = threading.Thread(target=target, name="repro-watchdog-run", daemon=True)
+    thread.start()
+    thread.join(deadline_s)
+    if thread.is_alive():
+        raise WatchdogExpired(time.monotonic() - start, deadline_s)
+    if box[1] is not None:
+        raise box[1]
+    return box[0]
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Wall-clock deadlines for one campaign.
+
+    ``soft_deadline_s`` bounds a single injected run (enforced inside
+    the fault monitor); ``hard_deadline_s`` is the *per-injection*
+    budget the parent multiplies by a chunk's length to bound how long
+    it waits for that chunk before declaring the worker lost.  Either
+    may be None to disable that layer.  The policy is a frozen
+    dataclass of floats, so it pickles to workers with the campaign
+    config.
+    """
+
+    soft_deadline_s: float | None = None
+    hard_deadline_s: float | None = None
+
+    #: Default calibration multiplier: an injected run allowed this many
+    #: times the golden run's wall clock before being declared hung.
+    #: Generous on purpose — injected runs legitimately run longer than
+    #: golden (the simulated cycle watchdog allows hang_factor ~6x), and
+    #: a false HANG corrupts campaign statistics while a late one only
+    #: wastes wall clock.
+    DEFAULT_SOFT_FACTOR = 25.0
+
+    #: Hard deadlines get extra slack on top of soft: the chunk budget
+    #: must absorb worker startup, golden-run rebuild and queueing.
+    DEFAULT_HARD_FACTOR = 4.0
+
+    #: Never calibrate below this floor — tiny golden runs (milliseconds)
+    #: would otherwise produce deadlines inside scheduler jitter.
+    MIN_DEADLINE_S = 0.25
+
+    @classmethod
+    def from_golden(
+        cls,
+        golden_wall_s: float,
+        soft_factor: float = DEFAULT_SOFT_FACTOR,
+        hard_factor: float = DEFAULT_HARD_FACTOR,
+        floor_s: float = MIN_DEADLINE_S,
+    ) -> "WatchdogPolicy":
+        """Derive deadlines from a measured clean-run wall time."""
+        if golden_wall_s < 0:
+            raise ValueError(f"golden_wall_s must be >= 0, got {golden_wall_s}")
+        soft = max(floor_s, golden_wall_s * soft_factor)
+        return cls(soft_deadline_s=soft, hard_deadline_s=soft * hard_factor)
+
+    def chunk_deadline(self, n_items: int) -> float | None:
+        """The parent's wait budget for a chunk of ``n_items`` injections."""
+        if self.hard_deadline_s is None:
+            return None
+        return self.hard_deadline_s * max(1, n_items)

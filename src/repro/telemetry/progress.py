@@ -44,6 +44,18 @@ class Heartbeat:
         self.start = clock()
         self._last_emit = float("-inf")
         self.lines_emitted = 0
+        self.note = ""
+
+    def annotate(self, note: str) -> None:
+        """Attach a status note (resume/retry/degradation events).
+
+        The note prints immediately on its own line — these events are
+        rare and operators should see them when they happen — and is
+        appended to subsequent progress lines until replaced.
+        """
+        self.note = note
+        print(f"[{self.label}] {note}", file=self.stream)
+        self.lines_emitted += 1
 
     def _cache_suffix(self) -> str:
         from repro.summarize.golden import golden_cache_stats
@@ -67,9 +79,10 @@ class Heartbeat:
             eta = "0s"
         else:
             eta = _format_eta((self.total - done) / rate)
+        note_suffix = f" | {self.note}" if self.note else ""
         print(
             f"[{self.label}] {done}/{self.total} injections | "
-            f"{rate:.1f} inj/s | ETA {eta}{self._cache_suffix()}",
+            f"{rate:.1f} inj/s | ETA {eta}{self._cache_suffix()}{note_suffix}",
             file=self.stream,
         )
         self.lines_emitted += 1

@@ -1,0 +1,81 @@
+"""Kill-mid-campaign resume: the strongest durability test.
+
+A real campaign process (not a thread, not a mock) is SIGKILL'd while
+mid-run with a checkpoint journal enabled.  SIGKILL gives the process
+zero chance to flush or clean up — anything that survives survived
+because ``append_chunk`` fsync'd it.  The resumed run must then produce
+outcome counts, running-rate series, histograms and per-run cycle
+counts identical to an uninterrupted reference run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+HELPER = ["-m", "tests.faultinject._resume_worker"]
+
+
+def _run_helper(mode: str, journal: Path, out: Path, *extra: str, wait: bool = True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + str(REPO_ROOT)
+    process = subprocess.Popen(
+        [sys.executable, *HELPER, mode, str(journal), str(out), *extra],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    if wait:
+        assert process.wait(timeout=120) == 0
+    return process
+
+
+def _journaled_chunks(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    # Count complete chunk lines only (ignore the header and any tail).
+    count = 0
+    for line in journal.read_bytes().split(b"\n")[:-1]:
+        try:
+            if json.loads(line).get("type") == "chunk":
+                count += 1
+        except json.JSONDecodeError:
+            pass
+    return count
+
+
+def test_sigkill_mid_campaign_then_resume_is_bit_identical(tmp_path):
+    journal = tmp_path / "campaign.jsonl"
+    killed_out = tmp_path / "killed.json"
+    resumed_out = tmp_path / "resumed.json"
+    reference_out = tmp_path / "reference.json"
+
+    # Launch the journaled campaign with per-injection slowdown, wait
+    # until at least one chunk is durably journaled, then SIGKILL it.
+    process = _run_helper("run", journal, killed_out, "0.05", wait=False)
+    deadline = time.monotonic() + 60
+    while _journaled_chunks(journal) < 1:
+        assert process.poll() is None, "campaign finished before it could be killed"
+        assert time.monotonic() < deadline, "no chunk journaled within 60s"
+        time.sleep(0.02)
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=30)
+    assert not killed_out.exists(), "SIGKILL'd run must not have finished"
+    chunks_before = _journaled_chunks(journal)
+    assert chunks_before >= 1
+
+    # Resume: journaled chunks replay, the remainder runs fresh.
+    _run_helper("resume", journal, resumed_out)
+    # Reference: one uninterrupted run, no journal.
+    _run_helper("reference", journal, reference_out)
+
+    resumed = json.loads(resumed_out.read_text())
+    reference = json.loads(reference_out.read_text())
+    assert resumed == reference

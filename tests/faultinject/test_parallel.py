@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.faultinject.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.faultinject.injector import InjectionPlan
 from repro.faultinject.parallel import (
     VSWorkloadSpec,
     chunk_indexed_plans,
@@ -211,6 +212,27 @@ class TestWorkerResolution:
         with mock.patch.dict(os.environ, {"REPRO_WORKERS": "7"}):
             assert resolve_workers(3) == 3
 
+    def test_workers_clamped_to_planned_injections(self):
+        """8 processes for a 3-injection campaign waste startup cost."""
+        assert resolve_workers(8, max_useful=3) == 3
+        with mock.patch.dict(os.environ, {"REPRO_WORKERS": "8"}):
+            assert resolve_workers(None, max_useful=3) == 3
+
+    def test_clamp_never_raises_workers(self):
+        assert resolve_workers(2, max_useful=100) == 2
+        assert resolve_workers(4, max_useful=4) == 4
+
+    def test_clamp_does_not_hide_invalid_requests(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0, max_useful=3)
+        with pytest.raises(ValueError):
+            resolve_workers(-2, max_useful=3)
+
+    def test_degenerate_max_useful_ignored(self):
+        # A 0-injection campaign still resolves a valid worker count.
+        assert resolve_workers(4, max_useful=0) == 4
+        assert resolve_workers(4, max_useful=None) == 4
+
     def test_env_override(self):
         with mock.patch.dict(os.environ, {"REPRO_WORKERS": "5"}):
             assert resolve_workers(None) == 5
@@ -226,6 +248,53 @@ class TestWorkerResolution:
         with mock.patch.dict(os.environ, {"REPRO_WORKERS": "lots"}):
             with pytest.raises(ValueError):
                 resolve_workers(None)
+
+
+class TestMeteredChunkTracerRestore:
+    def test_mid_chunk_exception_restores_parent_tracer(self):
+        """A chunk that dies mid-run must not leak its swapped-in tracer.
+
+        Regression guard: ``run_injection_chunk_metered`` swaps a fresh
+        tracer in for the chunk's duration; if the chunk raises, the
+        parent's tracer must still be restored (try/finally), otherwise
+        every later stage in the process meters into a zombie registry.
+        """
+        from repro import telemetry
+        from repro.faultinject.parallel import run_injection_chunk_metered
+
+        parent_tracer = telemetry.enable()
+        try:
+            spec = CrashingSpec()
+            _, golden, cycles = spec.build()
+            config = CampaignConfig(n_injections=2, kind=RegKind.GPR, seed=0)
+            plans = [
+                InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=0)
+            ]
+            with pytest.raises(SystemError, match="unclassifiable"):
+                run_injection_chunk_metered(spec, config, list(enumerate(plans)))
+            assert telemetry.get_tracer() is parent_tracer
+        finally:
+            telemetry.disable()
+
+    def test_successful_chunk_also_restores(self):
+        from repro import telemetry
+        from repro.faultinject.parallel import run_injection_chunk_metered
+
+        parent_tracer = telemetry.enable()
+        try:
+            spec = ToyWorkloadSpec()
+            config = CampaignConfig(n_injections=1, kind=RegKind.GPR, seed=0)
+            plans = [
+                InjectionPlan(target_cycle=0, kind=RegKind.GPR, register=0, bit=0)
+            ]
+            results, snapshot = run_injection_chunk_metered(
+                spec, config, list(enumerate(plans))
+            )
+            assert len(results) == 1
+            assert snapshot["counters"].get("campaign.runs") == 1
+            assert telemetry.get_tracer() is parent_tracer
+        finally:
+            telemetry.disable()
 
 
 class TestChunking:

@@ -55,7 +55,9 @@ def _out_path() -> Path:
     return Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT / "BENCH_campaign.json"))
 
 
-def _time_campaign(stream, config, golden, n_injections, workers, spec, journal_path=None):
+def _time_campaign(
+    stream, config, golden, n_injections, workers, spec, journal_path=None, probe=False
+):
     start = time.perf_counter()
     campaign = run_campaign(
         vs_workload(stream, config),
@@ -67,6 +69,7 @@ def _time_campaign(stream, config, golden, n_injections, workers, spec, journal_
             seed=BENCH_SEED,
             keep_sdc_outputs=False,
             workers=workers,
+            probe=probe,
         ),
         spec=spec,
         journal_path=journal_path,
@@ -124,6 +127,13 @@ def test_campaign_perf_trajectory(tmp_path):
     finally:
         telemetry.disable()
 
+    # Same cell with divergence probes on, to track the forensics tax:
+    # one extra probed golden run plus per-stage checksumming on every
+    # injected run.
+    probed_s, probed = _time_campaign(
+        stream, config, golden, scale.injections, workers=1, spec=None, probe=True
+    )
+
     # The perf harness doubles as an equivalence check.
     assert serial.counts == parallel.counts
     assert serial.running == parallel.running
@@ -131,6 +141,8 @@ def test_campaign_perf_trajectory(tmp_path):
     assert serial.running == traced.running
     assert serial.counts == journaled.counts
     assert serial.running == journaled.running
+    assert serial.counts == probed.counts
+    assert serial.running == probed.running
 
     # Journal overhead must stay within noise at default chunk sizes:
     # a handful of fsync'd appends against seconds of injection work.
@@ -139,6 +151,16 @@ def test_campaign_perf_trajectory(tmp_path):
     # *injection* instead of per chunk still fails loudly.
     assert journaled_s <= serial_s * 1.5 + 0.25, (
         f"journal overhead out of noise band: journaled {journaled_s:.3f}s "
+        f"vs serial {serial_s:.3f}s"
+    )
+
+    # Probing checksums every stage's intermediate output, so it costs
+    # real work per injection — but it must stay a modest constant
+    # factor (CRC32 over arrays already in cache), never blow up the
+    # campaign.  2x + 500ms absorbs the one-off probed golden re-run at
+    # tiny scale while still catching an accidentally quadratic probe.
+    assert probed_s <= serial_s * 2.0 + 0.5, (
+        f"probe overhead out of noise band: probed {probed_s:.3f}s "
         f"vs serial {serial_s:.3f}s"
     )
 
@@ -152,9 +174,11 @@ def test_campaign_perf_trajectory(tmp_path):
         "parallel_s": round(parallel_s, 3),
         "traced_s": round(traced_s, 3),
         "journaled_s": round(journaled_s, 3),
+        "probed_s": round(probed_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
         "journal_overhead": round(journaled_s / serial_s - 1.0, 4) if serial_s else None,
+        "probe_overhead": round(probed_s / serial_s - 1.0, 4) if serial_s else None,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -165,6 +189,7 @@ def test_campaign_perf_trajectory(tmp_path):
         f"serial {serial_s:.2f}s, parallel({workers}w) {parallel_s:.2f}s, "
         f"traced {traced_s:.2f}s (+{100 * entry['trace_overhead']:.1f}%), "
         f"journaled {journaled_s:.2f}s (+{100 * entry['journal_overhead']:.1f}%), "
+        f"probed {probed_s:.2f}s (+{100 * entry['probe_overhead']:.1f}%), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

@@ -71,13 +71,25 @@ def load_json(path: str | Path) -> dict[str, Any]:
 
 
 def markdown_table(headers: list[str], rows: list[list[Any]]) -> str:
-    """Render a GitHub-flavoured markdown table."""
+    """Render a GitHub-flavoured markdown table.
+
+    Cell text is escaped so values containing ``|`` or newlines (e.g.
+    register binding names, stage labels) cannot break the table: pipes
+    become ``\\|`` and newlines become ``<br>``.
+    """
     def fmt(value: Any) -> str:
         if isinstance(value, float):
-            return f"{value:.3f}"
-        return str(value)
+            text = f"{value:.3f}"
+        else:
+            text = str(value)
+        return (
+            text.replace("|", "\\|")
+            .replace("\r\n", "<br>")
+            .replace("\n", "<br>")
+            .replace("\r", "<br>")
+        )
 
-    lines = ["| " + " | ".join(headers) + " |"]
+    lines = ["| " + " | ".join(fmt(header) for header in headers) + " |"]
     lines.append("|" + "|".join("---" for _ in headers) + "|")
     for row in rows:
         lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")

@@ -19,6 +19,19 @@ journal for crash safety), ``--resume PATH`` (finish an interrupted
 journaled campaign; exits 3 when interrupted by the test hook) and
 ``--watchdog-factor F`` (wall-clock hang deadline as a multiple of the
 golden run's wall time) — see ``docs/resilience.md``.
+
+Forensics (see ``docs/forensics.md``): ``campaign --probe`` turns on
+stage-boundary divergence tracing, ``campaign --store DIR`` persists
+the campaign record under a content-addressed id, and ``report``
+renders stored campaigns::
+
+    python -m repro.cli campaign --probe --store runs/ -n 200
+    python -m repro.cli report list runs/
+    python -m repro.cli report show runs/ <id> --format html --out r.html
+    python -m repro.cli report diff runs/ <id_a> <id_b>
+
+``report diff`` exits 4 when a statistically significant outcome-rate
+shift is flagged, 0 when the campaigns are consistent.
 """
 
 from __future__ import annotations
@@ -153,9 +166,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     n_injections=args.n,
                     kind=kind,
                     seed=args.seed,
-                    keep_sdc_outputs=False,
+                    # Stored records score SDC quality, which needs the
+                    # corrupted outputs kept until build_record runs.
+                    keep_sdc_outputs=args.store is not None,
                     workers=workers,
                     watchdog=watchdog,
+                    probe=args.probe,
                 ),
                 spec=VSWorkloadSpec.for_stream(stream, config),
                 journal_path=journal_path,
@@ -173,9 +189,24 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"  {name:6s} {rate:7.2%}")
         if counts.crash:
             print(f"  crashes: {counts.crash_segv} segv / {counts.crash_abort} abort")
+        if args.probe:
+            from repro.forensics.divergence import summarize_divergence
+
+            divergence = summarize_divergence(campaign.results)
+            print(
+                f"  divergence: {divergence['probed']} probed, "
+                f"{divergence['absorbed']} absorbed before the stitch"
+            )
         if args.out:
             save_json(args.out, campaign_to_dict(campaign))
             print(f"full record written to {args.out}")
+        if args.store:
+            from repro.forensics.store import CampaignStore
+
+            cid = CampaignStore(args.store).put_campaign(
+                campaign, golden_output=golden.output, label=args.label
+            )
+            print(f"stored campaign {cid} in {args.store}")
     return 0
 
 
@@ -249,6 +280,45 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(render_summary(summary))
         return 0
     raise AssertionError(f"unknown trace action {args.trace_action!r}")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render reports and regression diffs over stored campaigns."""
+    from repro.forensics.report import diff_records, render_diff, render_report
+    from repro.forensics.store import CampaignStore
+
+    store = CampaignStore(args.store)
+    if args.report_action == "list":
+        summaries = store.summaries()
+        if not summaries:
+            print(f"no campaigns stored in {args.store}")
+            return 0
+        for cid, summary in summaries.items():
+            label = summary.get("label") or "-"
+            print(
+                f"{cid}  {summary['kind']:3s} n={summary['n_injections']:<6d} "
+                f"seed={summary['seed']:<6d} sdc={summary['sdc']:<5d} "
+                f"probe={'y' if summary['probe'] else 'n'}  {label}"
+            )
+        return 0
+    if args.report_action == "show":
+        text = render_report(store.get(args.id), fmt=args.format, cid=args.id)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    if args.report_action == "diff":
+        diff = diff_records(store.get(args.id_a), store.get(args.id_b))
+        text = render_diff(diff, fmt=args.format, cid_a=args.id_a, cid_b=args.id_b)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"diff written to {args.out}")
+        else:
+            print(text, end="")
+        return 4 if diff["flagged"] else 0
+    raise AssertionError(f"unknown report action {args.report_action!r}")
 
 
 def cmd_protect(args: argparse.Namespace) -> int:
@@ -335,6 +405,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the wall-clock watchdog: an injected run still going "
         "after F times the golden run's wall time is classified HANG",
     )
+    p_camp.add_argument(
+        "--probe",
+        action="store_true",
+        help="trace per-stage divergence against the golden run "
+        "(observational: outcomes stay bit-identical)",
+    )
+    p_camp.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the campaign record in this result store under a "
+        "content-addressed id (see `repro report`)",
+    )
+    p_camp.add_argument(
+        "--label",
+        default=None,
+        help="free-form label stored with the campaign record",
+    )
     p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
     _add_trace_argument(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
@@ -371,6 +460,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace_sum.add_argument("path", type=Path, help="trace JSONL file")
     p_trace_sum.set_defaults(func=cmd_trace)
+
+    p_report = subparsers.add_parser("report", help="reports over stored campaigns")
+    report_sub = p_report.add_subparsers(dest="report_action", required=True)
+
+    def _add_report_io(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--format",
+            default="terminal",
+            choices=["terminal", "markdown", "html"],
+            help="output format",
+        )
+        sub.add_argument("--out", type=Path, default=None, help="write here instead of stdout")
+
+    p_rep_list = report_sub.add_parser("list", help="list stored campaigns")
+    p_rep_list.add_argument("store", type=Path, help="result store directory")
+    p_rep_list.set_defaults(func=cmd_report)
+
+    p_rep_show = report_sub.add_parser("show", help="render one campaign report")
+    p_rep_show.add_argument("store", type=Path, help="result store directory")
+    p_rep_show.add_argument("id", help="campaign id (see `report list`)")
+    _add_report_io(p_rep_show)
+    p_rep_show.set_defaults(func=cmd_report)
+
+    p_rep_diff = report_sub.add_parser(
+        "diff", help="flag significant rate shifts between two campaigns (exit 4)"
+    )
+    p_rep_diff.add_argument("store", type=Path, help="result store directory")
+    p_rep_diff.add_argument("id_a", help="baseline campaign id")
+    p_rep_diff.add_argument("id_b", help="comparison campaign id")
+    _add_report_io(p_rep_diff)
+    p_rep_diff.set_defaults(func=cmd_report)
 
     p_prot = subparsers.add_parser("protect", help="plan selective protection")
     _add_input_arguments(p_prot)

@@ -65,6 +65,13 @@ class CampaignConfig:
     #: (see :class:`repro.faultinject.parallel.RetryPolicy`).  Never
     #: affects results, only whether and how a campaign survives them.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Enable stage-boundary divergence probes (see
+    #: :mod:`repro.forensics`): every injection additionally records the
+    #: first pipeline stage whose output diverged from the golden run,
+    #: the last stage reached, and a per-stage diverged bitmap.  Probes
+    #: only observe — outcomes, counts, histograms and SDC payloads are
+    #: bit-identical to an unprobed campaign at any worker count.
+    probe: bool = False
 
 
 @dataclass
@@ -228,6 +235,8 @@ def run_campaign(
     )
     progress = heartbeat.update if heartbeat is not None else None
     annotate = heartbeat.annotate if heartbeat is not None else None
+    if heartbeat is not None and config.probe:
+        heartbeat.annotate("divergence probes on")
 
     if journal_path is not None:
         journal, bounds, done, partial = _prepare_journal(
@@ -272,6 +281,7 @@ def run_campaign(
             site_filter=config.site_filter,
             keep_sdc_outputs=config.keep_sdc_outputs,
             watchdog=config.watchdog,
+            probe=config.probe,
         )
         results = []
         with telemetry.span("campaign.execute"):

@@ -43,6 +43,7 @@ from repro.faultinject.injector import InjectionPlan, InjectionRecord
 from repro.faultinject.monitor import InjectionResult
 from repro.faultinject.outcomes import CrashKind, HangKind, Outcome
 from repro.faultinject.registers import FlipEffect, RegKind, Role
+from repro.forensics.divergence import DivergenceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.campaign import CampaignConfig
@@ -132,6 +133,7 @@ def serialize_result(result: InjectionResult) -> dict:
         "hang_kind": result.hang_kind.value if result.hang_kind is not None else None,
         "cycles": result.cycles,
         "output": _array_to_dict(result.output) if result.output is not None else None,
+        "divergence": result.divergence.to_dict() if result.divergence is not None else None,
     }
 
 
@@ -157,6 +159,11 @@ def deserialize_result(data: dict) -> InjectionResult:
         hang_kind=HangKind(data["hang_kind"]) if data["hang_kind"] is not None else None,
         output=_array_from_dict(data["output"]) if data["output"] is not None else None,
         cycles=data["cycles"],
+        divergence=(
+            DivergenceRecord.from_dict(data["divergence"])
+            if data.get("divergence") is not None
+            else None
+        ),
     )
 
 
@@ -171,6 +178,10 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
     Execution knobs (workers, retry policy) are deliberately excluded —
     the engine guarantees they never change results — but the watchdog
     soft deadline is included because it can reclassify a stalled run.
+    ``probe`` is also included: probing never changes outcomes, but it
+    does determine whether results carry divergence records, and a
+    resume that silently mixed probed and unprobed chunks would leave a
+    campaign whose attribution tables cover an arbitrary subset.
     A resume whose fingerprint differs from the journal's header is
     refused: mixing results from two different campaigns would be
     silently wrong.
@@ -184,6 +195,7 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
         "site_filter": config.site_filter,
         "keep_sdc_outputs": config.keep_sdc_outputs,
         "watchdog_soft_deadline_s": watchdog.soft_deadline_s if watchdog else None,
+        "probe": config.probe,
     }
 
 

@@ -25,6 +25,8 @@ from repro.faultinject.outcomes import (
 )
 from repro.faultinject.registers import LivenessModel
 from repro.faultinject.watchdog import WatchdogPolicy, call_with_deadline
+from repro.forensics import probes
+from repro.forensics.divergence import DivergenceRecord, diff_against_golden
 from repro.imaging.image import images_equal
 from repro.runtime.context import ExecutionContext
 
@@ -46,6 +48,9 @@ class InjectionResult:
     hang_kind: HangKind | None = None  # set for HANG outcomes only
     output: np.ndarray | None = None  # the corrupted output for SDC runs
     cycles: int = 0
+    #: Stage-level divergence attribution; set only for probed runs
+    #: (``FaultMonitor(probe=True)`` / ``CampaignConfig(probe=True)``).
+    divergence: DivergenceRecord | None = None
 
     @property
     def is_sdc(self) -> bool:
@@ -66,6 +71,7 @@ class FaultMonitor:
         site_filter: Optional[str] = None,
         keep_sdc_outputs: bool = True,
         watchdog: Optional[WatchdogPolicy] = None,
+        probe: bool = False,
     ) -> None:
         if golden_cycles <= 0:
             raise ValueError(f"golden_cycles must be positive, got {golden_cycles}")
@@ -77,6 +83,7 @@ class FaultMonitor:
         self.site_filter = site_filter
         self.keep_sdc_outputs = keep_sdc_outputs
         self.watchdog = watchdog
+        self.probe = probe
 
     def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         """Execute one injected run and classify the result."""
@@ -90,9 +97,46 @@ class FaultMonitor:
                 telemetry.counter_inc("campaign.watchdog_hangs")
             if result.record.fired:
                 telemetry.counter_inc("campaign.fired")
+            if result.divergence is not None and result.divergence.first_divergence:
+                telemetry.counter_inc(
+                    f"campaign.divergence.{result.divergence.first_divergence}"
+                )
+                if result.divergence.absorbed:
+                    telemetry.counter_inc("campaign.divergence.absorbed")
         return result
 
+    def golden_signature(self) -> dict[str, tuple[int, ...]]:
+        """Per-stage golden checksum sequences for this workload.
+
+        Captured once per (process, workload) by re-running the workload
+        on a clean context under a probe — the golden run is
+        deterministic, so the re-run reproduces it exactly (checked
+        against ``golden_output`` as cheap insurance).  Cached through
+        :func:`repro.forensics.probes.golden_signature_for`.
+        """
+        return probes.golden_signature_for(self.workload, self._capture_golden_signature)
+
+    def _capture_golden_signature(self) -> dict[str, tuple[int, ...]]:
+        probe = probes.StageProbe()
+        with probes.capturing(probe):
+            output = self.workload(ExecutionContext())
+        if not images_equal(output, self.golden_output):
+            raise ValueError(
+                "probed golden capture does not reproduce the golden output; "
+                "the workload is not deterministic or the golden reference "
+                "belongs to a different workload"
+            )
+        return probe.signature()
+
     def _run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
+        probe: probes.StageProbe | None = None
+        golden_signature: dict[str, tuple[int, ...]] | None = None
+        if self.probe:
+            # Capture (or fetch) the golden signature before arming the
+            # injector, so the reference run is never probed while a
+            # fault is pending.
+            golden_signature = self.golden_signature()
+            probe = probes.StageProbe()
         injector = FaultInjector(
             plan,
             rng=rng,
@@ -101,12 +145,16 @@ class FaultMonitor:
         )
         ctx = ExecutionContext(injector=injector, watchdog_cycles=self.watchdog_cycles)
         soft_deadline = self.watchdog.soft_deadline_s if self.watchdog is not None else None
+        divergence = (
+            lambda: diff_against_golden(golden_signature, probe) if probe is not None else None
+        )
         try:
             # With no soft deadline this is a direct call (no thread);
             # with one, the workload runs on a watched daemon thread and
             # a wall-clock stall surfaces as WatchdogExpired -> a real
             # HANG, where the cycle watchdog could never fire.
-            output = call_with_deadline(lambda: self.workload(ctx), soft_deadline)
+            with probes.capturing(probe):
+                output = call_with_deadline(lambda: self.workload(ctx), soft_deadline)
         except Exception as exc:  # noqa: BLE001 - classified below, bugs re-raised
             outcome, crash_kind = classify_exception(exc)
             return InjectionResult(
@@ -116,6 +164,7 @@ class FaultMonitor:
                 crash_kind=crash_kind,
                 hang_kind=hang_kind_for(exc),
                 cycles=ctx.cycles,
+                divergence=divergence(),
             )
 
         if images_equal(output, self.golden_output):
@@ -124,6 +173,7 @@ class FaultMonitor:
                 record=injector.record,
                 outcome=Outcome.MASKED,
                 cycles=ctx.cycles,
+                divergence=divergence(),
             )
         return InjectionResult(
             plan=plan,
@@ -131,4 +181,5 @@ class FaultMonitor:
             outcome=Outcome.SDC,
             output=output.copy() if self.keep_sdc_outputs else None,
             cycles=ctx.cycles,
+            divergence=divergence(),
         )

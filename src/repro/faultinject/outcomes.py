@@ -155,9 +155,15 @@ class OutcomeCounts:
 
 
 def wilson_interval(successes: int, total: int, z: float = 1.96) -> tuple[float, float]:
-    """Wilson score confidence interval for a binomial rate."""
+    """Wilson score confidence interval for a binomial rate.
+
+    With no samples there is no rate to bound: ``total == 0`` returns
+    the degenerate ``(0.0, 0.0)`` (matching the 0.0 point estimate used
+    throughout, e.g. :meth:`OutcomeCounts.rate`) rather than dividing
+    by zero.  ``z == 0`` likewise degenerates cleanly to ``(p, p)``.
+    """
     if total == 0:
-        return 0.0, 1.0
+        return 0.0, 0.0
     p = successes / total
     denom = 1.0 + z * z / total
     center = (p + z * z / (2 * total)) / denom

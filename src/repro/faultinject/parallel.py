@@ -237,6 +237,7 @@ def monitor_for(
         site_filter=config.site_filter,
         keep_sdc_outputs=config.keep_sdc_outputs,
         watchdog=config.watchdog,
+        probe=config.probe,
     )
 
 

@@ -1,0 +1,184 @@
+"""Per-injection divergence records and campaign-level attribution.
+
+A :class:`DivergenceRecord` condenses one injected run's probe stream
+(see :mod:`repro.forensics.probes`) against the golden run's per-stage
+checksum sequences into four fields:
+
+* ``first_divergence`` — the stage whose output deviated from golden
+  earliest in execution order (``None`` when every recorded checksum
+  matched: the fault never produced observably different stage data);
+* ``last_stage`` — the last stage boundary the run reached (``None``
+  when the run died before the first probe);
+* ``diverged_bits`` / ``observed_bits`` — compact per-stage bitmaps
+  (bit *i* is :data:`~repro.forensics.probes.STAGES` ``[i]``) of which
+  stages diverged and which recorded at least one invocation.
+
+The comparison is **prefix-aware**: an injected run that crashed after
+three frames has shorter checksum sequences than golden, but as long as
+the checksums it did record match golden's prefix, no stage counts as
+diverged — truncation is visible through ``last_stage``, not conflated
+with data corruption.  A masked run whose ``first_divergence`` names an
+early stage while the final stages converged is exactly the paper's
+"absorbed" case made measurable: the corruption existed and a later
+stage (ratio test, RANSAC consensus, compositing) swallowed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.forensics.probes import STAGE_INDEX, STAGES, StageProbe
+
+
+@dataclass(frozen=True)
+class DivergenceRecord:
+    """Where one injected run's dataflow deviated from the golden run."""
+
+    first_divergence: str | None
+    last_stage: str | None
+    diverged_bits: int
+    observed_bits: int
+
+    def diverged(self, stage: str) -> bool:
+        """True when ``stage`` produced output different from golden."""
+        return bool(self.diverged_bits >> STAGE_INDEX[stage] & 1)
+
+    def observed(self, stage: str) -> bool:
+        """True when ``stage`` recorded at least one invocation."""
+        return bool(self.observed_bits >> STAGE_INDEX[stage] & 1)
+
+    @property
+    def stages_diverged(self) -> tuple[str, ...]:
+        """Diverged stages in pipeline order."""
+        return tuple(stage for stage in STAGES if self.diverged(stage))
+
+    @property
+    def absorbed(self) -> bool:
+        """True when an upstream divergence converged back by the stitch.
+
+        The measured version of "masked by the ratio test" / "absorbed
+        by RANSAC": some stage diverged, but the final composited output
+        stage did not.
+        """
+        return self.first_divergence is not None and not self.diverged("stitch")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (journal and store payloads)."""
+        return {
+            "first": self.first_divergence,
+            "last": self.last_stage,
+            "diverged": self.diverged_bits,
+            "observed": self.observed_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DivergenceRecord":
+        """Rebuild a record written by :meth:`to_dict`."""
+        return cls(
+            first_divergence=data["first"],
+            last_stage=data["last"],
+            diverged_bits=int(data["diverged"]),
+            observed_bits=int(data["observed"]),
+        )
+
+
+def diff_against_golden(
+    golden_signature: dict[str, tuple[int, ...]], probe: StageProbe
+) -> DivergenceRecord:
+    """Fold one run's probe stream into a :class:`DivergenceRecord`.
+
+    For each stage, invocation *i* of the injected run is compared with
+    invocation *i* of the golden run; the first mismatching (or extra)
+    invocation marks the stage diverged, stamped with its global
+    execution sequence so ``first_divergence`` reflects where corrupted
+    data *first appeared*, not merely the earliest pipeline stage.
+    """
+    # Snapshot first: after a wall-clock watchdog expiry the abandoned
+    # workload thread may still be appending events.
+    events = list(probe.events)
+    per_stage: dict[str, list[tuple[int, int]]] = {stage: [] for stage in STAGES}
+    for seq, (stage, crc) in enumerate(events):
+        per_stage[stage].append((seq, crc))
+
+    diverged_bits = 0
+    observed_bits = 0
+    first_stage: str | None = None
+    first_seq: int | None = None
+    for stage in STAGES:
+        stage_events = per_stage[stage]
+        if stage_events:
+            observed_bits |= 1 << STAGE_INDEX[stage]
+        golden = golden_signature.get(stage, ())
+        mismatch_seq: int | None = None
+        for index, (seq, crc) in enumerate(stage_events):
+            if index >= len(golden) or crc != golden[index]:
+                mismatch_seq = seq
+                break
+        if mismatch_seq is None:
+            continue
+        diverged_bits |= 1 << STAGE_INDEX[stage]
+        if first_seq is None or mismatch_seq < first_seq:
+            first_seq = mismatch_seq
+            first_stage = stage
+
+    return DivergenceRecord(
+        first_divergence=first_stage,
+        last_stage=events[-1][0] if events else None,
+        diverged_bits=diverged_bits,
+        observed_bits=observed_bits,
+    )
+
+
+#: Key used in attribution tables for runs without a given stage value.
+NONE_KEY = "none"
+
+
+def summarize_divergence(results) -> dict:
+    """Campaign-level divergence attribution (the store payload shape).
+
+    ``results`` is an ordered iterable of
+    :class:`~repro.faultinject.monitor.InjectionResult`; entries without
+    a divergence record (unprobed runs) are counted under ``unprobed``.
+    Tables are keyed by stage name (plus :data:`NONE_KEY`) and built in
+    deterministic :data:`~repro.forensics.probes.STAGES` order.
+    """
+    probed = 0
+    unprobed = 0
+    first_by_outcome: dict[str, dict[str, int]] = {}
+    last_stage_counts: dict[str, int] = {}
+    stage_diverged: dict[str, int] = {stage: 0 for stage in STAGES}
+    absorbed = 0
+    for result in results:
+        record = result.divergence
+        if record is None:
+            unprobed += 1
+            continue
+        probed += 1
+        first = record.first_divergence or NONE_KEY
+        outcome = result.outcome.value
+        first_by_outcome.setdefault(first, {})
+        first_by_outcome[first][outcome] = first_by_outcome[first].get(outcome, 0) + 1
+        last = record.last_stage or NONE_KEY
+        last_stage_counts[last] = last_stage_counts.get(last, 0) + 1
+        for stage in record.stages_diverged:
+            stage_diverged[stage] += 1
+        if record.absorbed:
+            absorbed += 1
+
+    def stage_order(table: dict) -> dict:
+        ordered = {}
+        for key in (*STAGES, NONE_KEY):
+            if key in table:
+                ordered[key] = table[key]
+        return ordered
+
+    return {
+        "probed": probed,
+        "unprobed": unprobed,
+        "absorbed": absorbed,
+        "first_divergence": stage_order(
+            {key: dict(sorted(value.items())) for key, value in first_by_outcome.items()}
+        ),
+        "last_stage": stage_order(last_stage_counts),
+        "stage_diverged": stage_diverged,
+    }

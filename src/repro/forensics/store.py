@@ -1,0 +1,244 @@
+"""Content-addressed campaign result store (append-only JSONL + index).
+
+Every campaign worth keeping becomes a fingerprinted, queryable
+artifact: outcome counts, register/bit histograms, per-injection
+``(register, bit, outcome, divergence)`` tuples, SDC quality
+distributions and divergence attributions, stored under a
+**content-addressed campaign id** — the SHA-256 of the record's
+canonical JSON — so identical campaigns collapse to one entry and a
+record can never drift from its id unnoticed.
+
+Layout (one directory per store)::
+
+    <root>/campaigns.jsonl   append-only; one CRC32-guarded record per line
+    <root>/index.json        id -> summary, rebuilt on every put (small)
+
+The JSONL follows the checkpoint journal's conventions (schema version,
+``zlib.crc32`` over the canonical payload, fsync'd appends); records
+whose CRC fails on read are reported, never silently skipped.
+
+Reports and regression diffs over stored campaigns live in
+:mod:`repro.forensics.report` (CLI: ``repro report``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.analysis.reporting import counts_to_dict
+from repro.faultinject.campaign import CampaignResult
+from repro.faultinject.journal import config_fingerprint
+from repro.forensics.divergence import summarize_divergence
+
+#: Bump when the record shape changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Hex digits of the SHA-256 kept as the campaign id.
+ID_LENGTH = 16
+
+
+class StoreError(ValueError):
+    """The store cannot be used (missing id, corrupt record, bad schema)."""
+
+
+def _canonical_json(payload: Any) -> str:
+    """The byte-stable JSON encoding ids and CRCs are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def campaign_id(record: dict) -> str:
+    """Content-addressed id of one campaign record."""
+    digest = hashlib.sha256(_canonical_json(record).encode("utf-8")).hexdigest()
+    return digest[:ID_LENGTH]
+
+
+def build_record(
+    campaign: CampaignResult,
+    golden_output: np.ndarray | None = None,
+    label: str | None = None,
+) -> dict:
+    """Fold one :class:`CampaignResult` into a storable record.
+
+    ``golden_output``, when given, lets the record include the SDC
+    quality distribution (relative L2 norm and Egregiousness Degree per
+    retained corrupted output — paper Fig. 12).  ``label`` is a free
+    human tag; it participates in the content address, so relabelling a
+    campaign stores a distinct record.
+    """
+    injections = []
+    for result in campaign.results:
+        divergence = result.divergence
+        injections.append(
+            [
+                int(result.plan.register),
+                int(result.plan.bit),
+                result.outcome.value,
+                result.crash_kind.value if result.crash_kind is not None else "",
+                1 if (result.record.fired and result.record.in_study) else 0,
+                divergence.first_divergence or "" if divergence is not None else "",
+                divergence.last_stage or "" if divergence is not None else "",
+                divergence.diverged_bits if divergence is not None else -1,
+            ]
+        )
+
+    sdc_quality = []
+    if golden_output is not None:
+        from repro.quality import compare_outputs
+
+        for index, result in enumerate(campaign.results):
+            if not result.is_sdc or result.output is None:
+                continue
+            quality = compare_outputs(golden_output, result.output)
+            rel = quality.relative_l2_norm
+            sdc_quality.append(
+                {
+                    "index": index,
+                    # round() keeps the canonical JSON (and therefore the
+                    # content address) stable across float formatting.
+                    "relative_l2": round(rel, 6) if np.isfinite(rel) else None,
+                    "ed": quality.egregious_degree,
+                }
+            )
+
+    return {
+        "schema": STORE_SCHEMA_VERSION,
+        "label": label,
+        "fingerprint": config_fingerprint(campaign.config),
+        "counts": counts_to_dict(campaign.counts),
+        "fired_counts": counts_to_dict(campaign.fired_counts()),
+        "register_histogram": campaign.register_histogram.tolist(),
+        "bit_histogram": campaign.bit_histogram.tolist(),
+        "injections": injections,
+        "divergence": summarize_divergence(campaign.results),
+        "sdc_quality": sdc_quality,
+    }
+
+
+class CampaignStore:
+    """One store directory of campaign records."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.records_path = self.root / "campaigns.jsonl"
+        self.index_path = self.root / "index.json"
+
+    # -- writing ----------------------------------------------------------
+
+    def put(self, record: dict) -> str:
+        """Store one record; returns its campaign id (idempotent)."""
+        if record.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"record schema {record.get('schema')!r} is not supported "
+                f"(expected {STORE_SCHEMA_VERSION})"
+            )
+        cid = campaign_id(record)
+        index = self._load_index()
+        if cid in index["campaigns"]:
+            return cid
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = _canonical_json(record)
+        line = _canonical_json(
+            {"id": cid, "crc32": zlib.crc32(payload.encode("utf-8")), "record": record}
+        )
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        index["order"].append(cid)
+        index["campaigns"][cid] = self._summary(record)
+        self._write_index(index)
+        return cid
+
+    def put_campaign(
+        self,
+        campaign: CampaignResult,
+        golden_output: np.ndarray | None = None,
+        label: str | None = None,
+    ) -> str:
+        """Build and store a record in one step; returns the id."""
+        return self.put(build_record(campaign, golden_output=golden_output, label=label))
+
+    # -- reading ----------------------------------------------------------
+
+    def ids(self) -> list[str]:
+        """Stored campaign ids in insertion order."""
+        return list(self._load_index()["order"])
+
+    def summaries(self) -> dict[str, dict]:
+        """Per-id summary rows from the index (insertion order)."""
+        index = self._load_index()
+        return {cid: index["campaigns"][cid] for cid in index["order"]}
+
+    def get(self, cid: str) -> dict:
+        """Load one record by id, verifying its CRC."""
+        for line_number, entry in self._iter_entries():
+            if entry.get("id") != cid:
+                continue
+            record = entry.get("record")
+            payload = _canonical_json(record)
+            if zlib.crc32(payload.encode("utf-8")) != entry.get("crc32"):
+                raise StoreError(
+                    f"store record {cid} (line {line_number}) failed its CRC check"
+                )
+            if campaign_id(record) != cid:
+                raise StoreError(
+                    f"store record at line {line_number} does not hash to its id {cid}"
+                )
+            return record
+        raise StoreError(
+            f"campaign {cid!r} is not in store {self.root} "
+            f"(known: {', '.join(self.ids()) or 'none'})"
+        )
+
+    def _iter_entries(self) -> Iterator[tuple[int, dict]]:
+        if not self.records_path.exists():
+            return
+        with open(self.records_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StoreError(
+                        f"store {self.records_path} line {line_number} is not JSON: {exc}"
+                    ) from None
+                yield line_number, entry
+
+    # -- index ------------------------------------------------------------
+
+    @staticmethod
+    def _summary(record: dict) -> dict:
+        fingerprint = record["fingerprint"]
+        counts = record["counts"]
+        return {
+            "label": record.get("label"),
+            "kind": fingerprint["kind"],
+            "n_injections": fingerprint["n_injections"],
+            "seed": fingerprint["seed"],
+            "probe": bool(fingerprint.get("probe")),
+            "total": counts["total"],
+            "sdc": counts["sdc"],
+        }
+
+    def _load_index(self) -> dict:
+        if not self.index_path.exists():
+            return {"schema": STORE_SCHEMA_VERSION, "order": [], "campaigns": {}}
+        index = json.loads(self.index_path.read_text())
+        if index.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"store index {self.index_path} schema {index.get('schema')!r} "
+                f"is not supported (expected {STORE_SCHEMA_VERSION})"
+            )
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        self.index_path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")

@@ -83,13 +83,42 @@ def golden_run(stream: FrameStream, config: VSConfig, use_cache: bool = True) ->
     return run
 
 
+def golden_stage_signature(stream: FrameStream, config: VSConfig) -> dict[str, tuple[int, ...]]:
+    """Per-stage golden checksum sequences for ``(config, stream)``.
+
+    Re-runs the (deterministic) golden execution once under a stage
+    probe — see :mod:`repro.forensics.probes` — and returns each
+    pipeline stage's checksum sequence.  This is the reference that
+    per-injection divergence records are computed against; campaign
+    workloads capture it through
+    :meth:`repro.faultinject.monitor.FaultMonitor.golden_signature`,
+    which memoizes per workload, so the probed re-run happens once per
+    process, not once per injection.
+    """
+    from repro.forensics import probes
+
+    probe = probes.StageProbe()
+    ctx = ExecutionContext()
+    with probes.capturing(probe), telemetry.span("summarize.golden_probe", ctx=ctx):
+        run_vs(stream, config, ctx)
+    return probe.signature()
+
+
 def golden_cache_stats() -> GoldenCacheStats:
     """The process-wide cache counters (reset by ``clear_golden_cache``)."""
     return _STATS
 
 
 def clear_golden_cache() -> None:
-    """Drop all cached golden runs and reset the counters (test isolation)."""
+    """Drop all cached golden runs and reset the counters (test isolation).
+
+    Also drops the forensics layer's cached golden stage signatures:
+    they are keyed by workload identity, and any test that resets golden
+    runs invalidates the workloads those signatures were captured from.
+    """
+    from repro.forensics import probes
+
     _CACHE.clear()
     _STATS.computes = 0
     _STATS.hits = 0
+    probes.clear_golden_signatures()

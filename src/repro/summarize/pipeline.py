@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.forensics import probes
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import Cell, ExecutionContext
 from repro.runtime.errors import InsufficientMatchesError, SegmentationFault
@@ -214,6 +215,9 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
         index.value = int(index.value) + 1
 
     panorama = _stack_minis(minis)
+    # Divergence probe: the stitch stage's output is the full stacked
+    # panorama — the same image the monitor classifies SDC against.
+    probes.record("stitch", panorama)
     return VSResult(
         config=config,
         panorama=panorama,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.forensics import probes
 from repro.imaging.geometry import translation, validate_homography
 from repro.imaging.image import blank
 from repro.imaging.warp import warp_into
@@ -125,6 +126,11 @@ def estimate_pairwise(
     the frame).
     """
     matches, cur_subset, prev_subset = match_features(current, previous, config, ctx)
+    # Divergence probe: the match stage's output is the correspondence
+    # set — recorded before the acceptance test, so "masked by the
+    # ratio test" (identical matches despite corrupted descriptors) is
+    # distinguishable from divergence introduced here.
+    probes.record("match", matches.query_idx, matches.train_idx, matches.distance)
     if len(matches) < config.min_inliers_affine:
         raise InsufficientMatchesError(f"only {len(matches)} matches")
 
@@ -145,6 +151,7 @@ def estimate_pairwise(
             _check_inlier_spread(
                 src, result.inlier_mask, frame_shape, config.min_inlier_spread
             )
+            probes.record("homography", result.model, "homography", result.num_inliers)
             return PairwiseTransform(
                 transform=result.model,
                 model_type="homography",
@@ -164,6 +171,7 @@ def estimate_pairwise(
     )
     _check_inlier_spread(src, result.inlier_mask, frame_shape, config.min_inlier_spread)
 
+    probes.record("homography", result.model, "affine", result.num_inliers)
     return PairwiseTransform(
         transform=result.model,
         model_type="affine",
@@ -205,6 +213,11 @@ class MiniPanorama:
             with ctx.scope("summarize.stitcher.composite"):
                 written = warp_into(self.canvas, self.coverage, frame, transform, ctx)
                 ctx.tick(kernel_cost("composite.px") * max(written, 1))
+        # Divergence probe: the warp stage's output is the canvas state
+        # after compositing this frame (coverage included, so a warp
+        # that paints the same pixels through a different footprint
+        # still registers).
+        probes.record("warp", self.canvas, self.coverage, written)
         self.frames_composited += 1
 
     def validate_chain(self, transform: np.ndarray, frame_shape: tuple[int, int]) -> np.ndarray:

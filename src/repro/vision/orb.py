@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.forensics import probes
 from repro.imaging.filters import gaussian_blur, harris_response
 from repro.imaging.image import as_gray
 from repro.perfmodel.cost import kernel_cost
@@ -191,6 +192,13 @@ def _orb_features(
     blurred_f = blurred.astype(np.float64)
 
     keypoints = detect_fast(arr, ctx, threshold=fast_threshold)
+    if probes.active():
+        # Divergence probe: the FAST stage's output is the detected
+        # corner list (positions and scores, in rank order).
+        probes.record(
+            "fast",
+            np.array([(kp.x, kp.y, kp.score) for kp in keypoints], dtype=np.float64),
+        )
     in_bounds = [
         kp
         for kp in keypoints
@@ -198,7 +206,9 @@ def _orb_features(
     ]
     if not in_bounds:
         empty = np.zeros((0, 2), dtype=np.int64)
-        return FeatureSet(empty, np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8), np.zeros(0))
+        features = FeatureSet(empty, np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8), np.zeros(0))
+        probes.record("orb", features.coords, features.descriptors, features.angles)
+        return features
 
     with ctx.scope("vision.orb.rank"):
         ctx.tick(kernel_cost("orb.harris_px") * h * w)
@@ -208,4 +218,5 @@ def _orb_features(
     selected = ranked[:n_keypoints]
     coords = np.array([[kp.x, kp.y] for kp in selected], dtype=np.int64)
     descriptors, angles = describe(blurred_f, coords, ctx)
+    probes.record("orb", coords, descriptors, angles)
     return FeatureSet(coords, descriptors, angles)

@@ -55,6 +55,23 @@ class TestReporting:
         assert "1.235" in lines[2]
         assert len(lines) == 4
 
+    def test_markdown_table_escapes_pipes(self):
+        table = markdown_table(["a|b", "value"], [["x|y", "plain"]])
+        lines = table.splitlines()
+        # Escaped pipes must not add table columns.
+        assert lines[0] == "| a\\|b | value |"
+        assert lines[2] == "| x\\|y | plain |"
+        assert all(line.count(" | ") == 1 for line in (lines[0], lines[2]))
+
+    def test_markdown_table_escapes_newlines(self):
+        table = markdown_table(["h"], [["one\ntwo"], ["crlf\r\nend"], ["cr\rend"]])
+        lines = table.splitlines()
+        # Every cell stays on its own table row.
+        assert len(lines) == 5
+        assert lines[2] == "| one<br>two |"
+        assert lines[3] == "| crlf<br>end |"
+        assert lines[4] == "| cr<br>end |"
+
 
 class TestCLI:
     def test_parser_requires_command(self):

@@ -68,6 +68,16 @@ class TestOutcomeCounts:
         assert counts.rate(Outcome.SDC) == 0.0
         assert counts.segv_fraction_of_crashes() == 0.0
 
+    def test_segv_fraction_no_crashes(self):
+        # All-masked campaign: zero crashes must not divide by zero.
+        counts = OutcomeCounts(masked=25)
+        assert counts.crash == 0
+        assert counts.segv_fraction_of_crashes() == 0.0
+
+    def test_segv_fraction_extremes(self):
+        assert OutcomeCounts(crash_segv=4).segv_fraction_of_crashes() == 1.0
+        assert OutcomeCounts(crash_abort=4).segv_fraction_of_crashes() == 0.0
+
     def test_segv_fraction(self):
         counts = OutcomeCounts(crash_segv=9, crash_abort=1)
         assert counts.segv_fraction_of_crashes() == pytest.approx(0.9)
@@ -84,7 +94,18 @@ class TestWilson:
         assert lo < 0.25 < hi
 
     def test_zero_total(self):
-        assert wilson_interval(0, 0) == (0.0, 1.0)
+        # Regression: no samples means no rate to bound — the old
+        # (0.0, 1.0) answer implied certainty of a valid experiment.
+        assert wilson_interval(0, 0) == (0.0, 0.0)
+
+    def test_zero_total_never_divides_by_zero(self):
+        for z in (0.0, 1.0, 1.96):
+            assert wilson_interval(0, 0, z=z) == (0.0, 0.0)
+
+    def test_zero_z_degenerates_to_point_estimate(self):
+        lo, hi = wilson_interval(3, 10, z=0.0)
+        assert lo == pytest.approx(0.3)
+        assert hi == pytest.approx(0.3)
 
     def test_narrows_with_samples(self):
         lo_small, hi_small = wilson_interval(5, 10)
@@ -109,3 +130,20 @@ class TestRunningRates:
         xs, ys = running.series(Outcome.SDC)
         assert list(xs) == [1, 2]
         assert ys[0] == 0.0 and ys[1] == pytest.approx(0.5)
+
+    def test_empty_series(self):
+        xs, ys = RunningRates().series(Outcome.SDC)
+        assert len(xs) == 0 and len(ys) == 0
+
+    def test_single_sample_series(self):
+        counts = OutcomeCounts()
+        counts.add(Outcome.SDC)
+        running = RunningRates()
+        running.record(counts)
+        xs, ys = running.series(Outcome.SDC)
+        assert list(xs) == [1]
+        assert list(ys) == [1.0]
+        # The other outcomes track the same checkpoints at rate 0.
+        xs_mask, ys_mask = running.series(Outcome.MASKED)
+        assert list(xs_mask) == [1]
+        assert list(ys_mask) == [0.0]

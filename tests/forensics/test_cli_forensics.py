@@ -1,0 +1,77 @@
+"""CLI tests: campaign --probe/--store and the report subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def stored(tmp_path_factory):
+    """Two small probed campaigns stored via the CLI."""
+    store = tmp_path_factory.mktemp("store")
+    base = [
+        "campaign", "--input", "input2", "--frames", "8", "-n", "10",
+        "--workers", "1", "--probe", "--store", str(store),
+    ]
+    assert main([*base, "--seed", "3", "--label", "first"]) == 0
+    assert main([*base, "--seed", "9", "--label", "second"]) == 0
+    return store
+
+
+def _stored_ids(store, capsys) -> list[str]:
+    assert main(["report", "list", str(store)]) == 0
+    return [line.split()[0] for line in capsys.readouterr().out.splitlines()]
+
+
+class TestCampaignForensicsFlags:
+    def test_probe_and_store_announced(self, stored, capsys, tmp_path):
+        code = main(
+            [
+                "campaign", "--input", "input2", "--frames", "8", "-n", "6",
+                "--workers", "1", "--seed", "5", "--probe", "--store", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "divergence:" in out
+        assert "stored campaign" in out
+
+
+class TestReportCommand:
+    def test_list_shows_both_campaigns(self, stored, capsys):
+        ids = _stored_ids(stored, capsys)
+        assert len(ids) == 2
+        assert len(set(ids)) == 2
+
+    def test_show_writes_deterministic_report(self, stored, capsys, tmp_path):
+        cid = _stored_ids(stored, capsys)[0]
+        first = tmp_path / "a.md"
+        second = tmp_path / "b.md"
+        assert main(["report", "show", str(stored), cid, "--format", "markdown",
+                     "--out", str(first)]) == 0
+        assert main(["report", "show", str(stored), cid, "--format", "markdown",
+                     "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert "## Outcome rates" in first.read_text()
+
+    def test_show_html(self, stored, capsys, tmp_path):
+        cid = _stored_ids(stored, capsys)[0]
+        out = tmp_path / "report.html"
+        assert main(["report", "show", str(stored), cid, "--format", "html",
+                     "--out", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_self_diff_quiet_exit_zero(self, stored, capsys):
+        cid = _stored_ids(stored, capsys)[0]
+        assert main(["report", "diff", str(stored), cid, cid]) == 0
+        assert "no statistically significant shifts" in capsys.readouterr().out
+
+    def test_diff_two_seeds_runs(self, stored, capsys):
+        ids = _stored_ids(stored, capsys)
+        # Two tiny same-config campaigns: the gate may or may not flag,
+        # but the command must render and exit 0 or 4, nothing else.
+        code = main(["report", "diff", str(stored), ids[0], ids[1]])
+        assert code in (0, 4)
+        assert "Rate shifts" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Tests for divergence records and prefix-aware golden comparison."""
+
+from __future__ import annotations
+
+from repro.forensics.divergence import (
+    DivergenceRecord,
+    diff_against_golden,
+    summarize_divergence,
+)
+from repro.forensics.probes import STAGES, StageProbe
+
+
+def _golden() -> dict[str, tuple[int, ...]]:
+    """A golden signature: two frames of fast/orb/match, one stitch."""
+    return {
+        "fast": (11, 12),
+        "orb": (21, 22),
+        "match": (31,),
+        "homography": (41,),
+        "warp": (51,),
+        "stitch": (61,),
+    }
+
+
+def _probe(events: list[tuple[str, int]]) -> StageProbe:
+    probe = StageProbe()
+    for stage, crc in events:
+        probe.record(stage, crc)
+    return probe
+
+
+class TestDiffAgainstGolden:
+    def test_identical_run_has_no_divergence(self):
+        events = [
+            ("fast", 11), ("orb", 21), ("fast", 12), ("orb", 22),
+            ("match", 31), ("homography", 41), ("warp", 51), ("stitch", 61),
+        ]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert record.first_divergence is None
+        assert record.last_stage == "stitch"
+        assert record.diverged_bits == 0
+        assert record.stages_diverged == ()
+        assert not record.absorbed
+
+    def test_truncation_is_not_divergence(self):
+        # Crashed after the first frame's orb: a golden prefix.
+        record = diff_against_golden(_golden(), _probe([("fast", 11), ("orb", 21)]))
+        assert record.first_divergence is None
+        assert record.last_stage == "orb"
+        assert record.observed("fast") and record.observed("orb")
+        assert not record.observed("stitch")
+
+    def test_last_stage_is_final_event_stage(self):
+        # Regression: last_stage must come from the global event stream,
+        # not from whichever per-stage bucket was iterated last.
+        record = diff_against_golden(_golden(), _probe([("stitch", 61), ("fast", 11)]))
+        assert record.last_stage == "fast"
+
+    def test_mismatch_marks_divergence(self):
+        events = [("fast", 99), ("orb", 21)]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert record.first_divergence == "fast"
+        assert record.diverged("fast")
+        assert not record.diverged("orb")
+
+    def test_first_divergence_follows_execution_order(self):
+        # orb corrupts on frame 1, fast only on frame 2: orb came first
+        # in execution order even though fast is earlier in the pipeline.
+        events = [("fast", 11), ("orb", 99), ("fast", 98), ("orb", 22)]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert record.first_divergence == "orb"
+        assert record.diverged("fast") and record.diverged("orb")
+
+    def test_extra_invocation_is_divergence(self):
+        # A third fast call has no golden counterpart: control flow
+        # diverged even if every checksum so far matched.
+        events = [("fast", 11), ("fast", 12), ("fast", 13)]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert record.first_divergence == "fast"
+
+    def test_absorbed_divergence(self):
+        events = [("fast", 99), ("stitch", 61)]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert record.first_divergence == "fast"
+        assert not record.diverged("stitch")
+        assert record.absorbed
+
+    def test_diverged_stitch_not_absorbed(self):
+        events = [("fast", 99), ("stitch", 66)]
+        record = diff_against_golden(_golden(), _probe(events))
+        assert not record.absorbed
+
+    def test_empty_run(self):
+        record = diff_against_golden(_golden(), _probe([]))
+        assert record.first_divergence is None
+        assert record.last_stage is None
+        assert record.observed_bits == 0
+
+
+class TestDivergenceRecord:
+    def test_dict_roundtrip(self):
+        record = DivergenceRecord("orb", "stitch", 0b000010, 0b100011)
+        assert DivergenceRecord.from_dict(record.to_dict()) == record
+
+    def test_bitmap_accessors_cover_all_stages(self):
+        record = DivergenceRecord("fast", "stitch", 0b111111, 0b111111)
+        assert record.stages_diverged == STAGES
+        assert all(record.observed(stage) for stage in STAGES)
+
+
+class _Result:
+    """Minimal stand-in for InjectionResult in summarize tests."""
+
+    def __init__(self, outcome_value: str, divergence: DivergenceRecord | None):
+        class _Outcome:
+            value = outcome_value
+
+        self.outcome = _Outcome()
+        self.divergence = divergence
+
+
+class TestSummarizeDivergence:
+    def test_mixed_results(self):
+        absorbed = DivergenceRecord("fast", "stitch", 0b000001, 0b111111)
+        sdc = DivergenceRecord("match", "stitch", 0b100100, 0b111111)
+        results = [
+            _Result("mask", absorbed),
+            _Result("sdc", sdc),
+            _Result("crash", DivergenceRecord(None, "orb", 0, 0b000011)),
+            _Result("mask", None),
+        ]
+        summary = summarize_divergence(results)
+        assert summary["probed"] == 3
+        assert summary["unprobed"] == 1
+        assert summary["absorbed"] == 1
+        assert summary["first_divergence"]["fast"] == {"mask": 1}
+        assert summary["first_divergence"]["match"] == {"sdc": 1}
+        assert summary["first_divergence"]["none"] == {"crash": 1}
+        assert summary["last_stage"] == {"orb": 1, "stitch": 2}
+        assert summary["stage_diverged"]["fast"] == 1
+        assert summary["stage_diverged"]["match"] == 1
+        assert summary["stage_diverged"]["stitch"] == 1
+
+    def test_empty_results(self):
+        summary = summarize_divergence([])
+        assert summary["probed"] == 0
+        assert summary["first_divergence"] == {}

@@ -1,0 +1,107 @@
+"""Tests for the content-addressed campaign result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faultinject.campaign import CampaignConfig, run_campaign
+from repro.faultinject.registers import RegKind
+from repro.forensics.store import CampaignStore, StoreError, build_record, campaign_id
+
+from tests.faultinject.test_parallel import ToyWorkloadSpec, toy_workload
+
+
+@pytest.fixture(scope="module")
+def toy_campaign():
+    spec = ToyWorkloadSpec()
+    _, golden, cycles = spec.build()
+    campaign = run_campaign(
+        toy_workload,
+        golden,
+        cycles,
+        CampaignConfig(
+            n_injections=40, kind=RegKind.GPR, seed=9, probe=True, keep_sdc_outputs=True
+        ),
+    )
+    return campaign, golden
+
+
+class TestBuildRecord:
+    def test_record_is_json_and_content_addressed(self, toy_campaign):
+        campaign, golden = toy_campaign
+        record = build_record(campaign, golden_output=golden, label="toy")
+        json.dumps(record)  # storable end to end
+        assert len(record["injections"]) == 40
+        assert record["counts"]["total"] == 40
+        assert record["divergence"]["probed"] == 40
+        # Identical campaign -> identical id (content addressing).
+        again = build_record(campaign, golden_output=golden, label="toy")
+        assert campaign_id(record) == campaign_id(again)
+        assert len(campaign_id(record)) == 16
+
+    def test_label_changes_id(self, toy_campaign):
+        campaign, golden = toy_campaign
+        a = build_record(campaign, label="a")
+        b = build_record(campaign, label="b")
+        assert campaign_id(a) != campaign_id(b)
+
+    def test_sdc_quality_requires_golden(self, toy_campaign):
+        campaign, golden = toy_campaign
+        assert build_record(campaign)["sdc_quality"] == []
+        scored = build_record(campaign, golden_output=golden)["sdc_quality"]
+        assert len(scored) == campaign.counts.sdc
+        for entry in scored:
+            assert set(entry) == {"index", "relative_l2", "ed"}
+
+
+class TestCampaignStore:
+    def test_put_get_roundtrip(self, toy_campaign, tmp_path):
+        campaign, golden = toy_campaign
+        store = CampaignStore(tmp_path / "store")
+        record = build_record(campaign, golden_output=golden, label="toy")
+        cid = store.put(record)
+        assert store.get(cid) == record
+        assert store.ids() == [cid]
+        assert store.summaries()[cid]["probe"] is True
+
+    def test_put_is_idempotent(self, toy_campaign, tmp_path):
+        campaign, _ = toy_campaign
+        store = CampaignStore(tmp_path / "store")
+        record = build_record(campaign, label="same")
+        assert store.put(record) == store.put(record)
+        assert len(store.ids()) == 1
+        assert len(store.records_path.read_text().splitlines()) == 1
+
+    def test_insertion_order_preserved(self, toy_campaign, tmp_path):
+        campaign, _ = toy_campaign
+        store = CampaignStore(tmp_path / "store")
+        ids = [store.put(build_record(campaign, label=label)) for label in "abc"]
+        assert store.ids() == ids
+
+    def test_missing_id_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="not in store"):
+            store.get("deadbeefdeadbeef")
+
+    def test_corrupted_record_detected(self, toy_campaign, tmp_path):
+        campaign, _ = toy_campaign
+        store = CampaignStore(tmp_path / "store")
+        cid = store.put(build_record(campaign, label="x"))
+        text = store.records_path.read_text()
+        # Flip a stored count without recomputing the CRC.
+        store.records_path.write_text(text.replace('"masked":', '"maskex":', 1))
+        with pytest.raises(StoreError):
+            store.get(cid)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="schema"):
+            store.put({"schema": 999})
+
+    def test_put_campaign_shortcut(self, toy_campaign, tmp_path):
+        campaign, golden = toy_campaign
+        store = CampaignStore(tmp_path / "store")
+        cid = store.put_campaign(campaign, golden_output=golden, label="short")
+        assert store.get(cid)["label"] == "short"

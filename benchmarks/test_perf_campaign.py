@@ -56,7 +56,15 @@ def _out_path() -> Path:
 
 
 def _time_campaign(
-    stream, config, golden, n_injections, workers, spec, journal_path=None, probe=False
+    stream,
+    config,
+    golden,
+    n_injections,
+    workers,
+    spec,
+    journal_path=None,
+    probe=False,
+    fast_forward=True,
 ):
     start = time.perf_counter()
     campaign = run_campaign(
@@ -70,6 +78,7 @@ def _time_campaign(
             keep_sdc_outputs=False,
             workers=workers,
             probe=probe,
+            fast_forward=fast_forward,
         ),
         spec=spec,
         journal_path=journal_path,
@@ -134,6 +143,22 @@ def test_campaign_perf_trajectory(tmp_path):
         stream, config, golden, scale.injections, workers=1, spec=None, probe=True
     )
 
+    # Golden-prefix fast-forward vs the full execution path, both serial
+    # with the spec supplied (fast-forward needs the spec to rebuild the
+    # snapshot tape; the timed fast run includes the one-off capture).
+    full_s, full = _time_campaign(
+        stream,
+        config,
+        golden,
+        scale.injections,
+        workers=1,
+        spec=spec,
+        fast_forward=False,
+    )
+    fastforward_s, fastforwarded = _time_campaign(
+        stream, config, golden, scale.injections, workers=1, spec=spec
+    )
+
     # The perf harness doubles as an equivalence check.
     assert serial.counts == parallel.counts
     assert serial.running == parallel.running
@@ -143,6 +168,10 @@ def test_campaign_perf_trajectory(tmp_path):
     assert serial.running == journaled.running
     assert serial.counts == probed.counts
     assert serial.running == probed.running
+    assert serial.counts == full.counts
+    assert serial.running == full.running
+    assert serial.counts == fastforwarded.counts
+    assert serial.running == fastforwarded.running
 
     # Journal overhead must stay within noise at default chunk sizes:
     # a handful of fsync'd appends against seconds of injection work.
@@ -164,6 +193,14 @@ def test_campaign_perf_trajectory(tmp_path):
         f"vs serial {serial_s:.3f}s"
     )
 
+    # Fast-forward exists to save time; even with the one-off tape
+    # capture inside the timed window it must never cost more than the
+    # full path beyond noise (10% + 250ms slack for scheduler jitter).
+    assert fastforward_s <= full_s * 1.1 + 0.25, (
+        f"fast-forward out of noise band: fast {fastforward_s:.3f}s "
+        f"vs full {full_s:.3f}s"
+    )
+
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "figure": "fig10-cell(input1,VS,GPR)",
@@ -175,10 +212,13 @@ def test_campaign_perf_trajectory(tmp_path):
         "traced_s": round(traced_s, 3),
         "journaled_s": round(journaled_s, 3),
         "probed_s": round(probed_s, 3),
+        "full_s": round(full_s, 3),
+        "fastforward_s": round(fastforward_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
         "journal_overhead": round(journaled_s / serial_s - 1.0, 4) if serial_s else None,
         "probe_overhead": round(probed_s / serial_s - 1.0, 4) if serial_s else None,
+        "fastforward_speedup": round(full_s / fastforward_s, 3) if fastforward_s else None,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -190,6 +230,8 @@ def test_campaign_perf_trajectory(tmp_path):
         f"traced {traced_s:.2f}s (+{100 * entry['trace_overhead']:.1f}%), "
         f"journaled {journaled_s:.2f}s (+{100 * entry['journal_overhead']:.1f}%), "
         f"probed {probed_s:.2f}s (+{100 * entry['probe_overhead']:.1f}%), "
+        f"fast-forward {fastforward_s:.2f}s vs full {full_s:.2f}s "
+        f"({entry['fastforward_speedup']}x), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

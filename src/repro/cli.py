@@ -172,6 +172,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     workers=workers,
                     watchdog=watchdog,
                     probe=args.probe,
+                    fast_forward=args.fast_forward,
                 ),
                 spec=VSWorkloadSpec.for_stream(stream, config),
                 journal_path=journal_path,
@@ -410,6 +411,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trace per-stage divergence against the golden run "
         "(observational: outcomes stay bit-identical)",
+    )
+    p_camp.add_argument(
+        "--no-fast-forward",
+        action="store_false",
+        dest="fast_forward",
+        help="disable golden-prefix fast-forward and execute every "
+        "injected run in full (results are bit-identical either way; "
+        "this is the escape hatch for timing studies and debugging)",
     )
     p_camp.add_argument(
         "--store",

@@ -72,6 +72,16 @@ class CampaignConfig:
     #: only observe — outcomes, counts, histograms and SDC payloads are
     #: bit-identical to an unprobed campaign at any worker count.
     probe: bool = False
+    #: Golden-prefix fast-forward (see
+    #: :mod:`repro.faultinject.fastforward`): injected runs restore the
+    #: last golden frame-boundary snapshot before their target cycle and
+    #: execute only the live suffix.  Results are bit-identical to full
+    #: executions; only wall-clock time changes.  Takes effect for
+    #: workloads whose spec can rebuild a snapshot tape (the standard VS
+    #: workloads); custom workloads run in full either way.  Part of the
+    #: journal config fingerprint, so a journal written in one mode
+    #: cannot be resumed in the other.
+    fast_forward: bool = True
 
 
 @dataclass
@@ -237,6 +247,13 @@ def run_campaign(
     annotate = heartbeat.annotate if heartbeat is not None else None
     if heartbeat is not None and config.probe:
         heartbeat.annotate("divergence probes on")
+    if (
+        heartbeat is not None
+        and config.fast_forward
+        and spec is not None
+        and hasattr(spec, "build_fast_forward")
+    ):
+        heartbeat.annotate("golden-prefix fast-forward on")
 
     if journal_path is not None:
         journal, bounds, done, partial = _prepare_journal(
@@ -272,6 +289,8 @@ def run_campaign(
                 annotate=annotate,
             )
     else:
+        from repro.faultinject.parallel import fast_forward_for
+
         monitor = FaultMonitor(
             workload,
             golden_output,
@@ -282,6 +301,7 @@ def run_campaign(
             keep_sdc_outputs=config.keep_sdc_outputs,
             watchdog=config.watchdog,
             probe=config.probe,
+            fast_forward=fast_forward_for(spec, config),
         )
         results = []
         with telemetry.span("campaign.execute"):

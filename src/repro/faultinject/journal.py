@@ -182,6 +182,11 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
     does determine whether results carry divergence records, and a
     resume that silently mixed probed and unprobed chunks would leave a
     campaign whose attribution tables cover an arbitrary subset.
+    ``fast_forward`` is included on the same conservative grounds: the
+    engine guarantees fast-forwarded results are bit-identical to full
+    executions, but that guarantee is exactly what a mixed-mode resume
+    would be silently betting on if the modes ever disagreed — refusing
+    the mix keeps every journal attributable to one execution mode.
     A resume whose fingerprint differs from the journal's header is
     refused: mixing results from two different campaigns would be
     silently wrong.
@@ -196,6 +201,7 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
         "keep_sdc_outputs": config.keep_sdc_outputs,
         "watchdog_soft_deadline_s": watchdog.soft_deadline_s if watchdog else None,
         "probe": config.probe,
+        "fast_forward": config.fast_forward,
     }
 
 

@@ -72,6 +72,7 @@ class FaultMonitor:
         keep_sdc_outputs: bool = True,
         watchdog: Optional[WatchdogPolicy] = None,
         probe: bool = False,
+        fast_forward=None,
     ) -> None:
         if golden_cycles <= 0:
             raise ValueError(f"golden_cycles must be positive, got {golden_cycles}")
@@ -84,6 +85,11 @@ class FaultMonitor:
         self.keep_sdc_outputs = keep_sdc_outputs
         self.watchdog = watchdog
         self.probe = probe
+        #: Optional :class:`repro.faultinject.fastforward.FastForward`
+        #: handle.  When set, runs whose plan cycle lies past a golden
+        #: frame boundary restore that boundary's snapshot and execute
+        #: only the suffix — bit-identical to the full execution.
+        self.fast_forward = fast_forward
 
     def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         """Execute one injected run and classify the result."""
@@ -148,13 +154,30 @@ class FaultMonitor:
         divergence = (
             lambda: diff_against_golden(golden_signature, probe) if probe is not None else None
         )
+        snapshot = (
+            self.fast_forward.boundary_for(plan.target_cycle)
+            if self.fast_forward is not None
+            else None
+        )
+        if telemetry.enabled() and self.fast_forward is not None:
+            if snapshot is not None:
+                telemetry.counter_inc("campaign.fastforward.hits")
+                telemetry.counter_inc(
+                    "campaign.fastforward.skipped_cycles", snapshot.cycles
+                )
+            else:
+                telemetry.counter_inc("campaign.fastforward.full_runs")
+        if snapshot is not None:
+            runner = lambda: self.fast_forward.resume(ctx, snapshot)  # noqa: E731
+        else:
+            runner = lambda: self.workload(ctx)  # noqa: E731
         try:
             # With no soft deadline this is a direct call (no thread);
             # with one, the workload runs on a watched daemon thread and
             # a wall-clock stall surfaces as WatchdogExpired -> a real
             # HANG, where the cycle watchdog could never fire.
             with probes.capturing(probe):
-                output = call_with_deadline(lambda: self.workload(ctx), soft_deadline)
+                output = call_with_deadline(runner, soft_deadline)
         except Exception as exc:  # noqa: BLE001 - classified below, bugs re-raised
             outcome, crash_kind = classify_exception(exc)
             return InjectionResult(

@@ -147,6 +147,19 @@ class VSWorkloadSpec:
 
         return workload, golden.output, golden.total_cycles
 
+    def build_fast_forward(self):
+        """The fast-forward handle for this workload (or ``None``).
+
+        Captured against the same cached input and golden run ``build``
+        uses, so parent- and worker-side snapshots describe the same
+        deterministic execution.
+        """
+        from repro.summarize.golden import golden_fast_forward
+        from repro.video.synthetic import cached_input
+
+        stream = cached_input(self.input_name, n_frames=self.n_frames, frame_size=self.frame_size)
+        return golden_fast_forward(stream, self.config)
+
 
 def _parse_workers(raw: str | int, source: str) -> int:
     """Validate a worker count: a base-10 integer >= 1, or ValueError."""
@@ -221,11 +234,35 @@ def _workload_state(spec: WorkloadSpec) -> tuple[Workload, np.ndarray, int]:
     return state
 
 
+#: Per-process cache: spec -> FastForward handle (or None when the spec
+#: offers no tape).  Kept separate from ``_WORKER_STATE`` so toggling
+#: ``config.fast_forward`` never has to invalidate workload state.
+_WORKER_FF: dict[WorkloadSpec, object] = {}
+
+
+def fast_forward_for(spec: WorkloadSpec | None, config: "CampaignConfig"):
+    """The (cached) fast-forward handle the campaign config calls for.
+
+    Returns ``None`` when fast-forward is off, when there is no spec to
+    rebuild a tape from (custom workload closures run in full), or when
+    the spec does not support snapshotting.
+    """
+    if spec is None or not getattr(config, "fast_forward", True):
+        return None
+    builder = getattr(spec, "build_fast_forward", None)
+    if builder is None:
+        return None
+    if spec not in _WORKER_FF:
+        _WORKER_FF[spec] = builder()
+    return _WORKER_FF[spec]
+
+
 def monitor_for(
     workload: Workload,
     golden_output: np.ndarray,
     golden_cycles: int,
     config: "CampaignConfig",
+    fast_forward=None,
 ) -> FaultMonitor:
     """A fault monitor configured exactly as the campaign prescribes."""
     return FaultMonitor(
@@ -238,6 +275,7 @@ def monitor_for(
         keep_sdc_outputs=config.keep_sdc_outputs,
         watchdog=config.watchdog,
         probe=config.probe,
+        fast_forward=fast_forward,
     )
 
 
@@ -270,7 +308,13 @@ def run_injection_chunk(
     (the serial path and the tests go through the same code).
     """
     workload, golden_output, golden_cycles = _workload_state(spec)
-    monitor = monitor_for(workload, golden_output, golden_cycles, config)
+    monitor = monitor_for(
+        workload,
+        golden_output,
+        golden_cycles,
+        config,
+        fast_forward=fast_forward_for(spec, config),
+    )
     return run_chunk_on_monitor(monitor, config, chunk)
 
 
@@ -541,7 +585,13 @@ def execute_plans_parallel(
             raise ValueError(
                 "execute_plans_parallel needs a spec or local_state to run chunks"
             )
-        monitor = monitor_for(workload, golden_output, golden_cycles, config)
+        monitor = monitor_for(
+            workload,
+            golden_output,
+            golden_cycles,
+            config,
+            fast_forward=fast_forward_for(spec, config),
+        )
         for index in list(pending):
             if tracer is not None:
                 fresh, previous = telemetry.swap_in_fresh_tracer()

@@ -465,6 +465,43 @@ class RegisterFileState:
         """Current contents of register ``slot`` of ``kind``."""
         return self._slots[kind][slot]
 
+    def export_state(
+        self,
+    ) -> tuple[
+        dict[tuple[RegKind, str, str], int],
+        dict[RegKind, int],
+        dict[RegKind, list[SlotEntry | None]],
+    ]:
+        """Copies of ``(assigned, next_slot, slots)`` for snapshot tooling.
+
+        The slot lists are shallow copies: entries still reference the
+        live :class:`Binding` objects, which is what the fast-forward
+        recorder needs (it converts them to value descriptors itself).
+        """
+        return (
+            dict(self._assigned),
+            dict(self._next_slot),
+            {kind: list(slots) for kind, slots in self._slots.items()},
+        )
+
+    def import_state(
+        self,
+        assigned: dict[tuple[RegKind, str, str], int],
+        next_slot: dict[RegKind, int],
+        slots: dict[RegKind, list[SlotEntry | None]],
+    ) -> None:
+        """Install a previously exported register-file state.
+
+        Restoring the slot-assignment map and round-robin cursor along
+        with the slot contents is what keeps a fast-forwarded run's
+        register allocation bit-identical to a full run: every suffix
+        binding must land in exactly the slot it would have landed in
+        had the prefix executed for real.
+        """
+        self._assigned = dict(assigned)
+        self._next_slot = dict(next_slot)
+        self._slots = {kind: list(entries) for kind, entries in slots.items()}
+
     def sample_census(self, census: SlotCensus, cycle: int, model: LivenessModel) -> None:
         """Accumulate one occupancy sample into ``census``."""
         census.samples += 1

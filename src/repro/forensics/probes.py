@@ -117,6 +117,21 @@ def record(stage: str, *parts) -> None:
     probe.events.append((stage, checksum_parts(*parts)))
 
 
+def replay_prefix(events: list[tuple[str, int]]) -> None:
+    """Append pre-recorded golden stage events into the active probe.
+
+    Golden-prefix fast-forward skips re-executing the uninjected prefix
+    of an injected run; when divergence probes are on, the skipped
+    stages' golden checksums are replayed here so the probe stream —
+    and therefore every ``DivergenceRecord`` — is bit-identical to a
+    full run's.  No-op when probing is off.
+    """
+    probe = _PROBE
+    if probe is None:
+        return
+    probe.events.extend(events)
+
+
 @contextlib.contextmanager
 def capturing(probe: StageProbe | None) -> Iterator[StageProbe | None]:
     """Activate ``probe`` for the duration of the block (None = no-op).

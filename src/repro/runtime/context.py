@@ -127,6 +127,20 @@ class ExecutionContext:
         if self.watchdog_cycles is not None and self.cycles > self.watchdog_cycles:
             raise HangDetected(self.cycles, self.watchdog_cycles)
 
+    def preload(self, cycles: int, by_scope: Optional[dict] = None) -> None:
+        """Pre-charge already-accounted work onto a fresh context.
+
+        Used by golden-prefix fast-forward: a restored mid-run context
+        must report the same cycle count (and, when profiling, the same
+        per-scope attribution) as if the skipped prefix had executed.
+        Unlike :meth:`tick` this never trips the watchdog — the replayed
+        prefix comes from the golden run, which by definition finished.
+        """
+        self.cycles = int(cycles)
+        if self.profile is not None and by_scope:
+            for scope, amount in by_scope.items():
+                self.profile.charge(scope, int(amount))
+
     def scope(self, name: str) -> _ScopeGuard:
         """Enter a named profiling scope (``with ctx.scope("warp"): ...``)."""
         return _ScopeGuard(self, name)

@@ -44,6 +44,11 @@ class GoldenCacheStats:
 _CACHE: dict[tuple, GoldenRun] = {}
 _STATS = GoldenCacheStats()
 
+#: Fast-forward snapshot tapes, cached alongside the golden runs they
+#: are captured against.  ``None`` marks a workload whose shape the
+#: recorder cannot snapshot (it degrades to full executions).
+_TAPES: dict[tuple, object] = {}
+
 
 def _cache_key(stream: FrameStream, config: VSConfig) -> tuple:
     """Cache key: the full ``(input, algorithm, scale)`` identity.
@@ -104,6 +109,40 @@ def golden_stage_signature(stream: FrameStream, config: VSConfig) -> dict[str, t
     return probe.signature()
 
 
+def golden_fast_forward(stream: FrameStream, config: VSConfig):
+    """The fast-forward handle for ``(config, stream)``, or ``None``.
+
+    Captures the snapshot tape once per process per workload — one
+    instrumented golden-run's worth of work — and caches it next to the
+    golden run itself, since both share a lifetime (anything that
+    invalidates the golden run invalidates every snapshot).  Returns a
+    fresh :class:`~repro.faultinject.fastforward.FastForward` handle
+    over the cached tape, or ``None`` when the workload cannot be
+    snapshotted.
+    """
+    from repro.faultinject.fastforward import (
+        FastForward,
+        SnapshotUnsupported,
+        capture_tape,
+    )
+
+    key = _cache_key(stream, config)
+    if key in _TAPES:
+        telemetry.counter_inc("golden.tape_hit")
+        tape = _TAPES[key]
+    else:
+        telemetry.counter_inc("golden.tape_capture")
+        golden = golden_run(stream, config)
+        try:
+            tape = capture_tape(stream, config, golden.output, golden.total_cycles)
+        except SnapshotUnsupported:
+            tape = None
+        _TAPES[key] = tape
+    if tape is None:
+        return None
+    return FastForward(tape, stream, config)
+
+
 def golden_cache_stats() -> GoldenCacheStats:
     """The process-wide cache counters (reset by ``clear_golden_cache``)."""
     return _STATS
@@ -119,6 +158,7 @@ def clear_golden_cache() -> None:
     from repro.forensics import probes
 
     _CACHE.clear()
+    _TAPES.clear()
     _STATS.computes = 0
     _STATS.hits = 0
     probes.clear_golden_signatures()

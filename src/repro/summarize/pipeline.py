@@ -77,9 +77,51 @@ class VSResult:
         return len(self.minis)
 
 
+@dataclass
+class PipelineState:
+    """The complete mutable state of the VS frame loop between frames.
+
+    This is the unit of restoration for golden-prefix fast-forward
+    (:mod:`repro.faultinject.fastforward`): everything the loop body
+    reads or writes across iterations lives here, so a run can be
+    re-entered at any frame boundary from a snapshot.  The invariant
+    ``current is minis[-1]`` (or ``None`` while ``minis`` is empty)
+    holds at every boundary, so ``current`` is not stored separately by
+    snapshots.
+    """
+
+    minis: list[MiniPanorama] = field(default_factory=list)
+    outcomes: list[FrameOutcome] = field(default_factory=list)
+    current: MiniPanorama | None = None
+    prev_features: FeatureSet | None = None
+    prev_chain: np.ndarray | None = None
+    failures: Cell = field(default_factory=lambda: Cell(0))
+    index: Cell = field(default_factory=lambda: Cell(0))
+    total: Cell = field(default_factory=lambda: Cell(0))
+
+
 def _ransac_seed(config: VSConfig, stream_name: str) -> int:
     """Deterministic RANSAC seed per (algorithm, input)."""
     return zlib.crc32(f"{config.name}:{stream_name}:{config.approx_seed}".encode())
+
+
+def materialize_frames(
+    stream: FrameStream, config: VSConfig
+) -> tuple[list[np.ndarray], tuple[int, int] | None]:
+    """The frame table the loop runs over (random frame drop applied).
+
+    Deterministic per ``(stream, config)``; the returned frames are
+    treated as read-only by the pipeline (each iteration works on a
+    copy), which is what lets fast-forward share one materialized table
+    across many resumed runs.
+    """
+    if config.drop_fraction > 0.0:
+        drop_rng = np.random.default_rng(config.approx_seed)
+        stream = drop_frames_randomly(stream, config.drop_fraction, drop_rng)
+    frames = list(stream)
+    if not frames:
+        return [], None
+    return frames, frames[0].shape
 
 
 def run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSResult:
@@ -92,29 +134,52 @@ def run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSRe
         return _run_vs(stream, config, ctx)
 
 
+def run_vs_resumed(
+    config: VSConfig,
+    ctx: ExecutionContext,
+    state: PipelineState,
+    rng: np.random.Generator,
+    frames: list[np.ndarray],
+    frame_shape: tuple[int, int],
+) -> VSResult:
+    """Re-enter the VS frame loop from a restored mid-run state.
+
+    Fast-forward entry point: ``ctx`` must already be pre-charged with
+    the skipped prefix's cycles (see ``ExecutionContext.preload``) and
+    ``rng``/``state`` must come from a frame-boundary snapshot.  The
+    suffix then executes exactly as it would have in a full run.
+    """
+    with telemetry.span("summarize.run_vs", ctx=ctx):
+        return _run_loop(frames, frame_shape, config, ctx, rng, state)
+
+
 def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSResult:
     rng = np.random.default_rng(_ransac_seed(config, stream.name))
-
-    if config.drop_fraction > 0.0:
-        drop_rng = np.random.default_rng(config.approx_seed)
-        stream = drop_frames_randomly(stream, config.drop_fraction, drop_rng)
-
-    frames = list(stream)
+    frames, frame_shape = materialize_frames(stream, config)
     if not frames:
         return VSResult(config=config, panorama=np.zeros((1, 1), dtype=np.uint8))
-    frame_shape = frames[0].shape
+    state = PipelineState(total=Cell(len(frames)))
+    return _run_loop(frames, frame_shape, config, ctx, rng, state)
 
-    minis: list[MiniPanorama] = []
-    outcomes: list[FrameOutcome] = []
-    current: MiniPanorama | None = None
-    prev_features: FeatureSet | None = None
-    prev_chain: np.ndarray | None = None
-    failures = Cell(0)
-    index = Cell(0)
-    total = Cell(len(frames))
+
+def _run_loop(
+    frames: list[np.ndarray],
+    frame_shape: tuple[int, int],
+    config: VSConfig,
+    ctx: ExecutionContext,
+    rng: np.random.Generator,
+    state: PipelineState,
+) -> VSResult:
     frame_px = frame_shape[0] * frame_shape[1]
+    failures, index, total = state.failures, state.index, state.total
+    # Snapshot hook: the fast-forward recorder (a pseudo-injector, like
+    # the census probe) exposes ``frame_boundary``; real injectors do
+    # not, so injected runs take the fast path through ``getattr``.
+    boundary_hook = getattr(ctx.injector, "frame_boundary", None)
 
     while index.value < total.value:
+        if boundary_hook is not None:
+            boundary_hook(ctx, rng, state)
         i = int(index.value)
         if i >= len(frames) or i < -len(frames):
             # A corrupted frame index walks off the frame table.
@@ -136,12 +201,12 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
             window.gpr_cell("frame_idx", index, role=Role.CONTROL)
             window.gpr_cell("frame_total", total, role=Role.CONTROL)
             window.gpr_cell("fail_count", failures, role=Role.DATA)
-            if current is not None:
-                window.gpr_address("canvas_ptr", current.canvas, writes=True)
-                window.gpr_address("coverage_ptr", current.coverage, writes=True)
-            if prev_features is not None and len(prev_features):
-                window.gpr_address("prev_desc_ptr", prev_features.descriptors)
-                window.gpr_address("prev_coords_ptr", prev_features.coords)
+            if state.current is not None:
+                window.gpr_address("canvas_ptr", state.current.canvas, writes=True)
+                window.gpr_address("coverage_ptr", state.current.coverage, writes=True)
+            if state.prev_features is not None and len(state.prev_features):
+                window.gpr_address("prev_desc_ptr", state.prev_features.descriptors)
+                window.gpr_address("prev_coords_ptr", state.prev_features.coords)
             ctx.checkpoint(window)
 
         features = orb_features(
@@ -151,15 +216,17 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
             fast_threshold=config.fast_threshold,
         )
 
-        if current is None or prev_features is None or prev_chain is None:
-            current, prev_chain = _start_segment(frame, frame_shape, config, ctx, minis)
-            prev_features = features
-            outcomes.append(
+        if state.current is None or state.prev_features is None or state.prev_chain is None:
+            state.current, state.prev_chain = _start_segment(
+                frame, frame_shape, config, ctx, state.minis
+            )
+            state.prev_features = features
+            state.outcomes.append(
                 FrameOutcome(
                     index=i,
                     status="anchor",
-                    chain=prev_chain.copy(),
-                    mini_index=len(minis) - 1,
+                    chain=state.prev_chain.copy(),
+                    mini_index=len(state.minis) - 1,
                 )
             )
             failures.value = 0
@@ -167,9 +234,11 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
             continue
 
         try:
-            pairwise = estimate_pairwise(features, prev_features, config, ctx, rng, frame_shape)
-            chained = prev_chain @ pairwise.transform
-            chained = current.validate_chain(chained, frame_shape)
+            pairwise = estimate_pairwise(
+                features, state.prev_features, config, ctx, rng, frame_shape
+            )
+            chained = state.prev_chain @ pairwise.transform
+            chained = state.current.validate_chain(chained, frame_shape)
         except InsufficientMatchesError:
             failures.value = int(failures.value) + 1
             # Library-internal invariant (the abort crash category):
@@ -180,16 +249,18 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
                 raise InternalAbortError(
                     f"failure counter corrupted: {failures.value}"
                 )
-            outcomes.append(FrameOutcome(index=i, status="discarded"))
+            state.outcomes.append(FrameOutcome(index=i, status="discarded"))
             if failures.value > config.max_consecutive_failures:
                 # Scene change: anchor a fresh mini-panorama at this frame.
-                current, prev_chain = _start_segment(frame, frame_shape, config, ctx, minis)
-                prev_features = features
-                outcomes[-1] = FrameOutcome(
+                state.current, state.prev_chain = _start_segment(
+                    frame, frame_shape, config, ctx, state.minis
+                )
+                state.prev_features = features
+                state.outcomes[-1] = FrameOutcome(
                     index=i,
                     status="anchor",
-                    chain=prev_chain.copy(),
-                    mini_index=len(minis) - 1,
+                    chain=state.prev_chain.copy(),
+                    mini_index=len(state.minis) - 1,
                 )
                 failures.value = 0
             index.value = int(index.value) + 1
@@ -197,11 +268,11 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
 
         with ctx.scope("summarize.pipeline.chain"):
             ctx.tick(kernel_cost("pipeline.anchor_update"))
-        current.add(frame, chained, ctx)
-        prev_chain = chained
-        prev_features = features
+        state.current.add(frame, chained, ctx)
+        state.prev_chain = chained
+        state.prev_features = features
         failures.value = 0
-        outcomes.append(
+        state.outcomes.append(
             FrameOutcome(
                 index=i,
                 status="stitched",
@@ -209,11 +280,12 @@ def _run_vs(stream: FrameStream, config: VSConfig, ctx: ExecutionContext) -> VSR
                 num_matches=pairwise.num_matches,
                 num_inliers=pairwise.num_inliers,
                 chain=chained.copy(),
-                mini_index=len(minis) - 1,
+                mini_index=len(state.minis) - 1,
             )
         )
         index.value = int(index.value) + 1
 
+    minis, outcomes = state.minis, state.outcomes
     panorama = _stack_minis(minis)
     # Divergence probe: the stitch stage's output is the full stacked
     # panorama — the same image the monitor classifies SDC against.

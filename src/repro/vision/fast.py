@@ -81,22 +81,43 @@ def detect_fast(
 ) -> list[Keypoint]:
     """Detect FAST-9 corners with non-maximum suppression.
 
-    Returns keypoints sorted by descending score.
+    Returns keypoints sorted by descending score.  Thin object wrapper
+    around :func:`detect_fast_arrays` for callers that want per-keypoint
+    records; bulk consumers (the ORB front end) use the array form
+    directly and skip the Python object construction.
+    """
+    coords, scores = detect_fast_arrays(image, ctx, threshold, nms_radius)
+    return [
+        Keypoint(x=int(x), y=int(y), score=float(s))
+        for (x, y), s in zip(coords, scores)
+    ]
+
+
+def detect_fast_arrays(
+    image: np.ndarray,
+    ctx: ExecutionContext,
+    threshold: int = 20,
+    nms_radius: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Detect FAST-9 corners; returns ``(coords (n, 2) int64, scores (n,))``.
+
+    Both arrays are sorted by descending score (stable, so raster order
+    breaks ties exactly like the :class:`Keypoint` list form).
     """
     with telemetry.span("vision.fast", ctx=ctx):
-        return _detect_fast(image, ctx, threshold, nms_radius)
+        return _detect_fast_arrays(image, ctx, threshold, nms_radius)
 
 
-def _detect_fast(
+def _detect_fast_arrays(
     image: np.ndarray,
     ctx: ExecutionContext,
     threshold: int,
     nms_radius: int,
-) -> list[Keypoint]:
+) -> tuple[np.ndarray, np.ndarray]:
     arr = as_gray(image)
     h, w = arr.shape
     if h <= 2 * BORDER or w <= 2 * BORDER:
-        return []
+        return np.zeros((0, 2), dtype=np.int64), np.zeros(0)
 
     thresh_cell = Cell(int(threshold))
     image_f = arr.astype(np.float64)
@@ -138,11 +159,11 @@ def _detect_fast(
         window.fpr_array("kp_scores", scores if scores.size else np.zeros(1))
         ctx.checkpoint(window)
 
+    # Rank after the checkpoint so an injected flip into the coordinate
+    # or score registers perturbs the ordering exactly as it did when
+    # the ranked list was built from the post-checkpoint arrays.
     order = np.argsort(-scores, kind="stable")
-    return [
-        Keypoint(x=int(coords[i, 0]), y=int(coords[i, 1]), score=float(scores[i]))
-        for i in order
-    ]
+    return coords[order], scores[order]
 
 
 def _nms(score: np.ndarray, radius: int) -> np.ndarray:

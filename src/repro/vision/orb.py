@@ -18,7 +18,7 @@ from repro.imaging.filters import gaussian_blur, harris_response
 from repro.imaging.image import as_gray
 from repro.perfmodel.cost import kernel_cost
 from repro.runtime.context import ExecutionContext
-from repro.vision.fast import detect_fast
+from repro.vision.fast import detect_fast_arrays
 
 #: Number of BRIEF test pairs (bits) per descriptor.
 DESCRIPTOR_BITS = 256
@@ -67,20 +67,33 @@ def brief_pattern(seed: int = 1234) -> np.ndarray:
 _PATTERN = brief_pattern()
 
 
-def orientation_angles(image_f: np.ndarray, coords: np.ndarray) -> np.ndarray:
-    """Intensity-centroid orientation of each keypoint patch (radians)."""
-    radius = CENTROID_RADIUS
-    offsets = np.arange(-radius, radius + 1)
+def _centroid_grids() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The fixed centroid patch offsets: ``(oy, ox, disk)`` grids."""
+    offsets = np.arange(-CENTROID_RADIUS, CENTROID_RADIUS + 1)
     oy, ox = np.meshgrid(offsets, offsets, indexing="ij")
-    disk = (ox**2 + oy**2) <= radius**2
-    angles = np.empty(coords.shape[0], dtype=np.float64)
-    for index, (x, y) in enumerate(coords):
-        patch = image_f[y - radius : y + radius + 1, x - radius : x + radius + 1]
-        masked = patch * disk
-        m10 = float((masked * ox).sum())
-        m01 = float((masked * oy).sum())
-        angles[index] = float(np.arctan2(m01, m10))
-    return angles
+    disk = (ox**2 + oy**2) <= CENTROID_RADIUS**2
+    return oy, ox, disk
+
+
+_CENTROID_OY, _CENTROID_OX, _CENTROID_DISK = _centroid_grids()
+
+
+def orientation_angles(image_f: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Intensity-centroid orientation of each keypoint patch (radians).
+
+    One batched gather replaces the per-keypoint patch loop: all ``n``
+    patches are pulled in a single advanced-indexing read and the moment
+    sums reduce over the trailing patch axes.  Each patch product is
+    freshly materialised C-contiguous in both formulations, so the
+    pairwise summation order — and therefore every output bit — matches
+    the scalar loop exactly.
+    """
+    ys = coords[:, 1][:, np.newaxis, np.newaxis] + _CENTROID_OY
+    xs = coords[:, 0][:, np.newaxis, np.newaxis] + _CENTROID_OX
+    masked = image_f[ys, xs] * _CENTROID_DISK
+    m10 = (masked * _CENTROID_OX).sum(axis=(1, 2))
+    m01 = (masked * _CENTROID_OY).sum(axis=(1, 2))
+    return np.arctan2(m01, m10)
 
 
 def _steered_samples(coords: np.ndarray, angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -191,20 +204,27 @@ def _orb_features(
     blurred = gaussian_blur(arr, sigma=1.1, ctx=ctx)
     blurred_f = blurred.astype(np.float64)
 
-    keypoints = detect_fast(arr, ctx, threshold=fast_threshold)
+    kp_coords, kp_scores = detect_fast_arrays(arr, ctx, threshold=fast_threshold)
     if probes.active():
         # Divergence probe: the FAST stage's output is the detected
-        # corner list (positions and scores, in rank order).
-        probes.record(
-            "fast",
-            np.array([(kp.x, kp.y, kp.score) for kp in keypoints], dtype=np.float64),
+        # corner list (positions and scores, in rank order).  The empty
+        # case stays a flat (0,) float64 record, matching the shape the
+        # per-keypoint tuple list produced.
+        record = (
+            np.column_stack([kp_coords.astype(np.float64), kp_scores])
+            if kp_coords.shape[0]
+            else np.array([], dtype=np.float64)
         )
-    in_bounds = [
-        kp
-        for kp in keypoints
-        if ORB_BORDER <= kp.x < w - ORB_BORDER and ORB_BORDER <= kp.y < h - ORB_BORDER
-    ]
-    if not in_bounds:
+        probes.record("fast", record)
+    xs, ys = kp_coords[:, 0], kp_coords[:, 1]
+    bounds_mask = (
+        (xs >= ORB_BORDER)
+        & (xs < w - ORB_BORDER)
+        & (ys >= ORB_BORDER)
+        & (ys < h - ORB_BORDER)
+    )
+    in_bounds = kp_coords[bounds_mask]
+    if not in_bounds.shape[0]:
         empty = np.zeros((0, 2), dtype=np.int64)
         features = FeatureSet(empty, np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8), np.zeros(0))
         probes.record("orb", features.coords, features.descriptors, features.angles)
@@ -213,10 +233,12 @@ def _orb_features(
     with ctx.scope("vision.orb.rank"):
         ctx.tick(kernel_cost("orb.harris_px") * h * w)
         response = harris_response(arr)
-        ranked = sorted(in_bounds, key=lambda kp: -response[kp.y, kp.x])
+        # Stable descending argsort over the gathered responses: the same
+        # permutation as the stable Python sort over keypoint objects,
+        # including FAST-rank tie-breaking.
+        ranked = np.argsort(-response[in_bounds[:, 1], in_bounds[:, 0]], kind="stable")
 
-    selected = ranked[:n_keypoints]
-    coords = np.array([[kp.x, kp.y] for kp in selected], dtype=np.int64)
+    coords = np.ascontiguousarray(in_bounds[ranked[:n_keypoints]])
     descriptors, angles = describe(blurred_f, coords, ctx)
     probes.record("orb", coords, descriptors, angles)
     return FeatureSet(coords, descriptors, angles)

@@ -1,0 +1,128 @@
+"""Bit-identity of the vectorized ORB front-end kernels.
+
+``orientation_angles`` and the FAST post-processing in ``_orb_features``
+were rewritten from per-keypoint Python loops into batched array ops.
+These tests pin them against brute-force reference implementations of
+the original loops — equality is exact (``array_equal``), not
+approximate, because the golden-run caches and the fault-injection
+equivalence suite both assume byte-stable outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.context import ExecutionContext
+from repro.vision.fast import detect_fast, detect_fast_arrays
+from repro.vision.orb import (
+    CENTROID_RADIUS,
+    ORB_BORDER,
+    orb_features,
+    orientation_angles,
+)
+
+
+def _reference_orientation(image_f: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """The original per-keypoint intensity-centroid loop, verbatim."""
+    radius = CENTROID_RADIUS
+    offsets = np.arange(-radius, radius + 1)
+    oy, ox = np.meshgrid(offsets, offsets, indexing="ij")
+    disk = (ox**2 + oy**2) <= radius**2
+    angles = np.empty(coords.shape[0], dtype=np.float64)
+    for index, (x, y) in enumerate(coords):
+        patch = image_f[y - radius : y + radius + 1, x - radius : x + radius + 1]
+        masked = patch * disk
+        m10 = float((masked * ox).sum())
+        m01 = float((masked * oy).sum())
+        angles[index] = float(np.arctan2(m01, m10))
+    return angles
+
+
+class TestOrientationVectorized:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_matches_bruteforce_bit_for_bit(self, seed):
+        rng = np.random.default_rng(seed)
+        image = rng.random((90, 130)) * 255.0
+        n = 64
+        coords = np.stack(
+            [
+                rng.integers(CENTROID_RADIUS, 130 - CENTROID_RADIUS, n),
+                rng.integers(CENTROID_RADIUS, 90 - CENTROID_RADIUS, n),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        reference = _reference_orientation(image, coords)
+        vectorized = orientation_angles(image, coords)
+        assert vectorized.dtype == np.float64
+        assert np.array_equal(reference, vectorized)
+
+    def test_border_hugging_patches(self):
+        rng = np.random.default_rng(3)
+        image = rng.random((40, 40)) * 255.0
+        r = CENTROID_RADIUS
+        corners = np.array(
+            [[r, r], [39 - r, r], [r, 39 - r], [39 - r, 39 - r]], dtype=np.int64
+        )
+        assert np.array_equal(
+            _reference_orientation(image, corners), orientation_angles(image, corners)
+        )
+
+    def test_empty_coords(self):
+        image = np.zeros((30, 30))
+        angles = orientation_angles(image, np.zeros((0, 2), dtype=np.int64))
+        assert angles.shape == (0,)
+        assert angles.dtype == np.float64
+
+
+class TestDetectFastArrays:
+    def test_arrays_match_keypoint_list(self, textured_image):
+        coords, scores = detect_fast_arrays(
+            textured_image, ExecutionContext(), threshold=15
+        )
+        keypoints = detect_fast(textured_image, ExecutionContext(), threshold=15)
+        assert coords.shape == (len(keypoints), 2)
+        assert coords.dtype == np.int64
+        assert scores.dtype == np.float64
+        for (x, y), s, kp in zip(coords, scores, keypoints):
+            assert (int(x), int(y), float(s)) == (kp.x, kp.y, kp.score)
+
+    def test_empty_image(self):
+        coords, scores = detect_fast_arrays(
+            np.zeros((5, 5), dtype=np.uint8), ExecutionContext()
+        )
+        assert coords.shape == (0, 2)
+        assert scores.shape == (0,)
+
+    def test_outputs_contiguous(self, textured_image):
+        coords, scores = detect_fast_arrays(textured_image, ExecutionContext())
+        assert coords.flags["C_CONTIGUOUS"]
+        assert scores.flags["C_CONTIGUOUS"]
+
+
+class TestOrbRankingVectorized:
+    def test_selection_matches_object_sort(self, textured_image):
+        """The stable argsort ranking must reproduce the original stable
+        Python sort over keypoint objects, including tie-breaking by
+        FAST rank order.
+        """
+        from repro.imaging.filters import harris_response
+
+        h, w = textured_image.shape
+        keypoints = detect_fast(textured_image, ExecutionContext(), threshold=20)
+        in_bounds = [
+            kp
+            for kp in keypoints
+            if ORB_BORDER <= kp.x < w - ORB_BORDER and ORB_BORDER <= kp.y < h - ORB_BORDER
+        ]
+        response = harris_response(textured_image)
+        ranked = sorted(in_bounds, key=lambda kp: -response[kp.y, kp.x])
+        expected = np.array([[kp.x, kp.y] for kp in ranked[:50]], dtype=np.int64)
+
+        features = orb_features(textured_image, ExecutionContext(), n_keypoints=50)
+        assert np.array_equal(features.coords, expected)
+
+    def test_coords_contiguous_int64(self, textured_image):
+        features = orb_features(textured_image, ExecutionContext(), n_keypoints=30)
+        assert features.coords.dtype == np.int64
+        assert features.coords.flags["C_CONTIGUOUS"]

@@ -34,7 +34,7 @@ from repro.faultinject.campaign import CampaignConfig, run_campaign
 from repro.faultinject.parallel import VSWorkloadSpec
 from repro.faultinject.registers import RegKind
 from repro.summarize.approximations import config_for
-from repro.summarize.golden import golden_run
+from repro.summarize.golden import clear_golden_cache, golden_run
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -65,6 +65,7 @@ def _time_campaign(
     journal_path=None,
     probe=False,
     fast_forward=True,
+    boundary_batch=True,
 ):
     start = time.perf_counter()
     campaign = run_campaign(
@@ -79,6 +80,7 @@ def _time_campaign(
             workers=workers,
             probe=probe,
             fast_forward=fast_forward,
+            boundary_batch=boundary_batch,
         ),
         spec=spec,
         journal_path=journal_path,
@@ -145,7 +147,9 @@ def test_campaign_perf_trajectory(tmp_path):
 
     # Golden-prefix fast-forward vs the full execution path, both serial
     # with the spec supplied (fast-forward needs the spec to rebuild the
-    # snapshot tape; the timed fast run includes the one-off capture).
+    # snapshot tape; the tape is already warm here — the parallel run
+    # above captured it parent-side for boundary grouping — so the three
+    # timings below compare execution strategies, not capture cost).
     full_s, full = _time_campaign(
         stream,
         config,
@@ -156,8 +160,32 @@ def test_campaign_perf_trajectory(tmp_path):
         fast_forward=False,
     )
     fastforward_s, fastforwarded = _time_campaign(
+        stream,
+        config,
+        golden,
+        scale.injections,
+        workers=1,
+        spec=spec,
+        boundary_batch=False,
+    )
+    # Boundary fan-out (the default mode): injections grouped per frame
+    # boundary, one materialized restore per group, per-run state cloned
+    # copy-on-write, golden tails synthesized for re-converged runs.
+    fanout_s, fanned_out = _time_campaign(
         stream, config, golden, scale.injections, workers=1, spec=spec
     )
+
+    # Untimed telemetry-enabled run on a cold cache: harvest the
+    # fast-forward and fan-out counters that explain *why* the timings
+    # above moved (how many runs fast-forwarded, how many groups, how
+    # many restores were shared, how many golden tails synthesized).
+    clear_golden_cache()
+    tracer = telemetry.enable()
+    try:
+        _time_campaign(stream, config, golden, scale.injections, workers=1, spec=spec)
+        counters = dict(tracer.registry.snapshot()["counters"])
+    finally:
+        telemetry.disable()
 
     # The perf harness doubles as an equivalence check.
     assert serial.counts == parallel.counts
@@ -172,6 +200,8 @@ def test_campaign_perf_trajectory(tmp_path):
     assert serial.running == full.running
     assert serial.counts == fastforwarded.counts
     assert serial.running == fastforwarded.running
+    assert serial.counts == fanned_out.counts
+    assert serial.running == fanned_out.running
 
     # Journal overhead must stay within noise at default chunk sizes:
     # a handful of fsync'd appends against seconds of injection work.
@@ -201,6 +231,21 @@ def test_campaign_perf_trajectory(tmp_path):
         f"vs full {full_s:.3f}s"
     )
 
+    # Boundary fan-out must never be slower than plain fast-forward
+    # beyond noise (it only removes work: shared restores, synthesized
+    # tails), and its whole reason to exist is a >4x win over full
+    # execution on this tracked cell — fast-forward alone plateaus
+    # around 2-3x, so a fanout regression below 4x means the fan-out
+    # engine stopped amortizing.
+    assert fanout_s <= fastforward_s * 1.1 + 0.25, (
+        f"fan-out out of noise band: fanout {fanout_s:.3f}s "
+        f"vs fast-forward {fastforward_s:.3f}s"
+    )
+    assert fanout_s > 0 and full_s / fanout_s > 4.0, (
+        f"fan-out speedup regressed below 4x: fanout {fanout_s:.3f}s "
+        f"vs full {full_s:.3f}s ({full_s / fanout_s:.2f}x)"
+    )
+
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "figure": "fig10-cell(input1,VS,GPR)",
@@ -214,11 +259,24 @@ def test_campaign_perf_trajectory(tmp_path):
         "probed_s": round(probed_s, 3),
         "full_s": round(full_s, 3),
         "fastforward_s": round(fastforward_s, 3),
+        "fanout_s": round(fanout_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
         "journal_overhead": round(journaled_s / serial_s - 1.0, 4) if serial_s else None,
         "probe_overhead": round(probed_s / serial_s - 1.0, 4) if serial_s else None,
         "fastforward_speedup": round(full_s / fastforward_s, 3) if fastforward_s else None,
+        "fanout_speedup": round(full_s / fanout_s, 3) if fanout_s else None,
+        "fastforward": {
+            "hits": counters.get("campaign.fastforward.hits", 0),
+            "full_runs": counters.get("campaign.fastforward.full_runs", 0),
+            "skipped_cycles": counters.get("campaign.fastforward.skipped_cycles", 0),
+        },
+        "fanout": {
+            "groups": counters.get("campaign.fanout.groups", 0),
+            "shared_restores": counters.get("campaign.fanout.shared_restores", 0),
+            "cow_clones": counters.get("campaign.fanout.cow_clones", 0),
+            "golden_tails": counters.get("campaign.fanout.golden_tail", 0),
+        },
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -232,6 +290,9 @@ def test_campaign_perf_trajectory(tmp_path):
         f"probed {probed_s:.2f}s (+{100 * entry['probe_overhead']:.1f}%), "
         f"fast-forward {fastforward_s:.2f}s vs full {full_s:.2f}s "
         f"({entry['fastforward_speedup']}x), "
+        f"fan-out {fanout_s:.2f}s ({entry['fanout_speedup']}x, "
+        f"{entry['fanout']['groups']} groups, "
+        f"{entry['fanout']['golden_tails']} golden tails), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

@@ -173,6 +173,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     watchdog=watchdog,
                     probe=args.probe,
                     fast_forward=args.fast_forward,
+                    boundary_batch=args.boundary_batch,
                 ),
                 spec=VSWorkloadSpec.for_stream(stream, config),
                 journal_path=journal_path,
@@ -419,6 +420,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable golden-prefix fast-forward and execute every "
         "injected run in full (results are bit-identical either way; "
         "this is the escape hatch for timing studies and debugging)",
+    )
+    p_camp.add_argument(
+        "--no-boundary-batch",
+        action="store_false",
+        dest="boundary_batch",
+        help="disable boundary fan-out: run one full snapshot restore "
+        "per injection instead of grouping injections by frame boundary "
+        "and sharing the restore (results are bit-identical either way; "
+        "this is the reference path CI diffs batched campaigns against)",
     )
     p_camp.add_argument(
         "--store",

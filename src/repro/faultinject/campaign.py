@@ -82,6 +82,17 @@ class CampaignConfig:
     #: journal config fingerprint, so a journal written in one mode
     #: cannot be resumed in the other.
     fast_forward: bool = True
+    #: Boundary fan-out (see :class:`repro.faultinject.fastforward.
+    #: BoundaryFanOut`): group plans by the frame boundary they resume
+    #: from, dispatch whole groups to workers, materialize each
+    #: boundary's restore once per worker and clone per-run state
+    #: copy-on-write from it, synthesizing golden tails for runs that
+    #: re-converge to the tape.  Results are bit-identical to plain
+    #: fast-forward (``--no-boundary-batch``); only wall-clock time
+    #: changes.  No effect unless ``fast_forward`` is active.  Part of
+    #: the journal config fingerprint: journals checkpoint at group
+    #: granularity in this mode, so mixed-mode resume is rejected.
+    boundary_batch: bool = True
 
 
 @dataclass
@@ -174,12 +185,30 @@ def _prepare_journal(
     workers: int,
     journal_path: Path,
     resume: bool,
-) -> tuple[CampaignJournal, list[tuple[int, int]], dict[int, list[InjectionResult]], bool]:
-    """Open (or reopen) the journal; returns (journal, bounds, completed, partial)."""
+    groups: list[list[int]] | None = None,
+) -> tuple[
+    CampaignJournal,
+    list[tuple[int, int]] | None,
+    list[list[int]] | None,
+    dict[int, list[InjectionResult]],
+    bool,
+]:
+    """Open (or reopen) the journal.
+
+    Returns ``(journal, bounds, groups, completed, partial)`` — exactly
+    one of ``bounds``/``groups`` is set, and on resume it is whatever
+    the journal header recorded (the original run's dispatch must be
+    replayed verbatim; the config fingerprint has already rejected a
+    journal written in the other batching mode).
+    """
     journal_path = Path(journal_path)
     if not resume:
+        if groups is not None:
+            journal = CampaignJournal.create(journal_path, config, groups=groups)
+            return journal, None, groups, {}, False
         bounds = compute_chunk_bounds(n_plans, workers)
-        return CampaignJournal.create(journal_path, config, bounds), bounds, {}, False
+        journal = CampaignJournal.create(journal_path, config, bounds)
+        return journal, bounds, None, {}, False
 
     state = load_journal(journal_path)
     fingerprint = config_fingerprint(config)
@@ -189,6 +218,18 @@ def _prepare_journal(
             f"configuration (journal {state.fingerprint} vs requested "
             f"{fingerprint}); refusing to mix results"
         )
+    journal_groups = state.groups
+    if journal_groups is not None:
+        covered = sorted(index for group in journal_groups for index in group)
+        if covered != list(range(n_plans)):
+            raise JournalError(
+                f"journal {journal_path} boundary groups do not cover the "
+                f"campaign's {n_plans} injections"
+            )
+        journal = CampaignJournal.append_to(
+            journal_path, chunks_written=len(state.chunks)
+        )
+        return journal, None, journal_groups, state.chunks, state.discarded_partial
     bounds = state.chunk_bounds
     if not bounds or bounds[-1][1] != n_plans or bounds[0][0] != 0:
         raise JournalError(
@@ -196,7 +237,7 @@ def _prepare_journal(
             f"the campaign's {n_plans} injections"
         )
     journal = CampaignJournal.append_to(journal_path, chunks_written=len(state.chunks))
-    return journal, bounds, state.chunks, state.discarded_partial
+    return journal, bounds, None, state.chunks, state.discarded_partial
 
 
 def run_campaign(
@@ -238,6 +279,28 @@ def run_campaign(
     with telemetry.span("campaign.draw_plans"):
         plans = draw_plans(config, golden_cycles)
 
+    batching = (
+        config.fast_forward
+        and config.boundary_batch
+        and spec is not None
+        and hasattr(spec, "build_fast_forward")
+    )
+    groups: list[list[int]] | None = None
+    if batching and (journal_path is not None or workers > 1):
+        # Boundary-grouped dispatch needs the tape parent-side: group
+        # the plans by resume boundary so each group lands whole on one
+        # worker, and clamp the pool — more workers than groups only
+        # buys idle startup cost.
+        from repro.faultinject.parallel import fast_forward_for, group_plan_indices
+
+        parent_ff = fast_forward_for(spec, config)
+        if parent_ff is not None:
+            with telemetry.span("campaign.group_plans"):
+                groups = group_plan_indices(parent_ff.boundary_index_for, plans)
+            workers = resolve_workers(
+                config.workers, max_useful=min(len(plans), max(1, len(groups)))
+            )
+
     heartbeat = (
         telemetry.Heartbeat(len(plans), label=f"campaign {config.kind.value}")
         if telemetry.enabled()
@@ -254,13 +317,19 @@ def run_campaign(
         and hasattr(spec, "build_fast_forward")
     ):
         heartbeat.annotate("golden-prefix fast-forward on")
+    if heartbeat is not None and batching:
+        if groups is not None:
+            heartbeat.annotate(f"boundary fan-out on ({len(groups)} groups)")
+        else:
+            heartbeat.annotate("boundary fan-out on")
 
     if journal_path is not None:
-        journal, bounds, done, partial = _prepare_journal(
-            config, len(plans), workers, journal_path, resume
+        journal, bounds, journal_groups, done, partial = _prepare_journal(
+            config, len(plans), workers, journal_path, resume, groups=groups
         )
         if heartbeat is not None and resume:
-            note = f"resumed {len(done)}/{len(bounds)} journaled chunks"
+            n_chunks = len(bounds) if bounds is not None else len(journal_groups)
+            note = f"resumed {len(done)}/{n_chunks} journaled chunks"
             if partial:
                 note += " (discarded one torn record)"
             heartbeat.annotate(note)
@@ -273,6 +342,7 @@ def run_campaign(
                 progress=progress,
                 local_state=(workload, golden_output, golden_cycles),
                 bounds=bounds,
+                groups=journal_groups,
                 completed=done,
                 journal=journal,
                 annotate=annotate,
@@ -286,6 +356,7 @@ def run_campaign(
                 workers,
                 progress=progress,
                 local_state=(workload, golden_output, golden_cycles),
+                groups=groups,
                 annotate=annotate,
             )
     else:
@@ -302,6 +373,7 @@ def run_campaign(
             watchdog=config.watchdog,
             probe=config.probe,
             fast_forward=fast_forward_for(spec, config),
+            boundary_batch=config.boundary_batch,
         )
         results = []
         with telemetry.span("campaign.execute"):

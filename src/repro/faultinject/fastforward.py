@@ -47,6 +47,22 @@ at every prefix checkpoint:
 Restores are destructive (the flip may corrupt any restored object), so
 every restore rebuilds its state from the immutable tape.
 
+**Boundary fan-out** (:class:`BoundaryFanOut`) amortizes the restore a
+second time: a campaign's plans are grouped by the boundary they resume
+from (see :func:`repro.faultinject.parallel.group_plan_indices`), each
+boundary's restore source is materialized **once per worker** — the
+frozen dead-allocation bytes are decoded into a shared read-only base —
+and every member injection clones its mutable state copy-on-write from
+that shared base instead of re-decoding the tape.  Fan-out members
+additionally carry a convergence watch: once the flip has fired, every
+frame boundary of the live suffix is compared against the golden tape,
+and when the member's complete loop state (cycles, cells, RNG, chain,
+features, canvases) is *exactly* the golden state again, the rest of
+the run is by construction an exact golden replay — so the engine
+synthesizes it (golden output, golden cycle count, golden probe tail)
+instead of executing it.  Most masked runs re-converge at the first
+boundary after the fire, which is where the fan-out speedup comes from.
+
 What is *not* bit-identical under fast-forward: telemetry traces (the
 skipped prefix emits no spans) and wall-clock-based soft deadlines
 (fast-forward strictly reduces wall time).  Campaign results never
@@ -62,6 +78,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import telemetry
 from repro.faultinject.registers import (
     AddressBinding,
     ArrayBinding,
@@ -174,6 +191,10 @@ class SnapshotTape:
     golden_cycles: int
     frame_shape: tuple[int, int]
     boundary_cycles: list[int] = field(default_factory=list)
+    #: The golden output panorama, kept so a fan-out member whose state
+    #: re-converges to the tape can synthesize its golden tail without
+    #: executing it.  None only for tapes built by pre-fan-out callers.
+    golden_output: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if not self.boundary_cycles:
@@ -418,6 +439,7 @@ def capture_tape(
         probe_events=list(probe.events),
         golden_cycles=golden_cycles,
         frame_shape=frame_shape if frame_shape is not None else (0, 0),
+        golden_output=golden_output.copy(),
     )
 
 
@@ -441,9 +463,14 @@ class FastForward:
         self.config = config
         self.stream_name = stream.name
         self._frames, self._frame_shape = materialize_frames(stream, config)
+        #: boundary index -> shared fan-out state, lazily built.  Hangs
+        #: off the handle so "materialize once per worker" falls out of
+        #: the per-process handle cache in ``summarize.golden``.
+        self._fanouts: dict[int, BoundaryFanOut] = {}
+        self._snapshot_by_frame: dict[int, FrameSnapshot] | None = None
 
-    def boundary_for(self, target_cycle: int) -> FrameSnapshot | None:
-        """The last frame boundary strictly before ``target_cycle``.
+    def boundary_index_for(self, target_cycle: int) -> int | None:
+        """Index of the last frame boundary strictly before the cycle.
 
         Strictly: no checkpoint of the restored suffix may precede the
         boundary, so no prefix checkpoint the injector never saw could
@@ -453,7 +480,23 @@ class FastForward:
         index = bisect.bisect_left(self.tape.boundary_cycles, target_cycle) - 1
         if index <= 0:
             return None
+        return index
+
+    def boundary_for(self, target_cycle: int) -> FrameSnapshot | None:
+        """The last frame boundary strictly before ``target_cycle``."""
+        index = self.boundary_index_for(target_cycle)
+        if index is None:
+            return None
         return self.tape.boundaries[index]
+
+    def fanout(self, index: int) -> "BoundaryFanOut":
+        """The shared fan-out state for boundary ``index`` (lazy)."""
+        fan = self._fanouts.get(index)
+        if fan is None:
+            fan = BoundaryFanOut(self, index)
+            self._fanouts[index] = fan
+            telemetry.counter_inc("campaign.fanout.groups")
+        return fan
 
     def resume(self, ctx: ExecutionContext, snapshot: FrameSnapshot) -> np.ndarray:
         """Restore ``snapshot`` into ``ctx`` and run the live suffix.
@@ -463,17 +506,56 @@ class FastForward:
         the snapshot.  Returns the run's output panorama, exactly as the
         full workload closure would.
         """
+        return self._resume(ctx, snapshot)
+
+    def _resume(
+        self,
+        ctx: ExecutionContext,
+        snapshot: FrameSnapshot,
+        dead_base: dict[int, np.ndarray] | None = None,
+        converge: bool = False,
+    ) -> np.ndarray:
         injector = ctx.injector
         state, live_bases = self._restore_app(snapshot)
-        self._restore_machine(snapshot, injector, live_bases, state)
+        self._restore_machine(snapshot, injector, live_bases, state, dead_base)
         ctx.preload(snapshot.cycles, snapshot.profile_by_scope)
         probes.replay_prefix(self.tape.probe_events[: snapshot.probe_count])
         rng = np.random.default_rng(_ransac_seed(self.config, self.stream_name))
         rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
-        result = run_vs_resumed(
-            self.config, ctx, state, rng, self._frames, self._frame_shape
-        )
+        if converge and self.tape.golden_output is not None:
+            # Fan-out members watch every post-fire boundary for exact
+            # re-convergence to the tape; the watch only observes until
+            # it proves the rest of the run is a golden replay.
+            injector.frame_boundary = _ConvergenceWatch(injector, self._by_frame())
+        try:
+            result = run_vs_resumed(
+                self.config, ctx, state, rng, self._frames, self._frame_shape
+            )
+        except _GoldenTailReached as reached:
+            return self._synthesize_tail(ctx, reached.snapshot)
         return result.panorama
+
+    def _by_frame(self) -> dict[int, FrameSnapshot]:
+        if self._snapshot_by_frame is None:
+            self._snapshot_by_frame = {
+                b.frame_index: b for b in self.tape.boundaries
+            }
+        return self._snapshot_by_frame
+
+    def _synthesize_tail(self, ctx: ExecutionContext, snapshot: FrameSnapshot) -> np.ndarray:
+        """Complete a re-converged run from the tape, without executing.
+
+        At ``snapshot``'s boundary the member's loop state equals the
+        golden run's exactly, and the loop forward of a boundary is a
+        pure function of that state — so the remaining frames would
+        reproduce the golden run byte-for-byte.  Emit what they would
+        have emitted: the golden probe tail from this boundary on, the
+        golden final cycle count, and a fresh copy of the golden output.
+        """
+        probes.replay_prefix(self.tape.probe_events[snapshot.probe_count :])
+        ctx.preload(self.tape.golden_cycles)
+        telemetry.counter_inc("campaign.fanout.golden_tail")
+        return self.tape.golden_output.copy()
 
     # -- application state ------------------------------------------------
     def _restore_app(
@@ -517,6 +599,7 @@ class FastForward:
         injector: "FaultInjector",
         live_bases: dict[tuple, np.ndarray],
         state: PipelineState,
+        dead_base: dict[int, np.ndarray] | None = None,
     ) -> None:
         # Replay the prefix's first-use allocation sequence, in order,
         # into the injected run's fresh address space: the heap layout
@@ -537,6 +620,10 @@ class FastForward:
                         .view(record.dtype)
                         .reshape(record.shape)
                     )
+            elif dead_base is not None:
+                # Fan-out member: clone copy-on-write from the group's
+                # shared read-only base instead of re-decoding bytes.
+                array = dead_base[record.aid].copy()
             else:
                 # Dead allocation: fresh writable stand-in per restore
                 # (the flip may corrupt it; the tape stays pristine).
@@ -602,3 +689,157 @@ def _discard_int(value: int) -> None:
 
 def _discard_float(value: float) -> None:
     """Stand-in apply for a dead kernel-local float value binding."""
+
+
+# ---------------------------------------------------------------------------
+# Boundary fan-out
+# ---------------------------------------------------------------------------
+
+
+class BoundaryFanOut:
+    """Shared restore source for all injections resuming at one boundary.
+
+    Materialized lazily on the first member: the boundary's frozen
+    dead-allocation bytes are decoded **once** into read-only arrays —
+    zero-copy views of the tape's immutable ``frozen`` buffers — and
+    every member clones its writable stand-ins copy-on-write from that
+    shared base instead of re-decoding the tape per restore.  The clones
+    are mandatory, not an optimization to skip: restores are destructive
+    (a fired flip may corrupt any restored object), so nothing mutable
+    is ever shared between members.  The equivalence suite checks
+    batched campaigns byte-for-byte against unbatched ones.
+    """
+
+    def __init__(self, fast_forward: FastForward, index: int) -> None:
+        self.fast_forward = fast_forward
+        self.index = index
+        self.snapshot = fast_forward.tape.boundaries[index]
+        self.members_run = 0
+        self._dead_base: dict[int, np.ndarray] | None = None
+        self._clones_per_member = 0
+
+    def _materialize(self) -> dict[int, np.ndarray]:
+        """Decode this boundary's dead allocations once, read-only."""
+        snapshot = self.snapshot
+        base: dict[int, np.ndarray] = {}
+        for record in self.fast_forward.tape.allocs[: snapshot.n_allocs]:
+            if record.aid in snapshot.live_map:
+                continue
+            # np.frombuffer over the frozen bytes is read-only, so the
+            # shared base is immune to member corruption by construction.
+            base[record.aid] = np.frombuffer(record.frozen, dtype=record.dtype).reshape(
+                record.shape
+            )
+        self._clones_per_member = (
+            len(base)
+            + 2 * len(snapshot.minis)
+            + (0 if snapshot.features is None else 3)
+            + (0 if snapshot.prev_chain is None else 1)
+        )
+        return base
+
+    def resume_member(self, ctx: ExecutionContext) -> np.ndarray:
+        """Run one member injection's live suffix off the shared base."""
+        if self._dead_base is None:
+            self._dead_base = self._materialize()
+            telemetry.counter_inc("campaign.fanout.shared_restores")
+        elif telemetry.enabled():
+            telemetry.counter_inc(
+                f"campaign.fanout.b{self.snapshot.frame_index}.restores_saved"
+            )
+        self.members_run += 1
+        if telemetry.enabled():
+            telemetry.counter_inc("campaign.fanout.cow_clones", self._clones_per_member)
+            telemetry.counter_inc(
+                f"campaign.fanout.b{self.snapshot.frame_index}.members"
+            )
+        with telemetry.span(f"fanout.suffix.b{self.snapshot.frame_index}", ctx=ctx):
+            return self.fast_forward._resume(
+                ctx, self.snapshot, dead_base=self._dead_base, converge=True
+            )
+
+
+class _GoldenTailReached(Exception):
+    """Control-flow signal: a fired member re-converged to the tape.
+
+    Raised by :class:`_ConvergenceWatch` from the pipeline's
+    ``frame_boundary`` hook and caught inside ``FastForward._resume`` —
+    it never escapes to outcome classification.
+    """
+
+    def __init__(self, snapshot: FrameSnapshot) -> None:
+        super().__init__(f"golden tail at frame {snapshot.frame_index}")
+        self.snapshot = snapshot
+
+
+class _ConvergenceWatch:
+    """``frame_boundary`` hook armed on fan-out members.
+
+    Until the injector fires it is a single attribute check per frame.
+    After the fire, each boundary compares the member's complete loop
+    state against the tape's snapshot for that frame index — cheapest
+    fields first, so runs that stay divergent pay almost nothing — and
+    raises :class:`_GoldenTailReached` on exact equality.  Equality is
+    a *proof*: ``PipelineState`` plus the RANSAC RNG and the cycle
+    counter is everything the loop reads forward of a boundary (the
+    fired injector is spent and never consults machine state again),
+    so an equal state replays the golden tail verbatim.
+    """
+
+    __slots__ = ("injector", "by_frame")
+
+    def __init__(self, injector: "FaultInjector", by_frame: dict[int, FrameSnapshot]) -> None:
+        self.injector = injector
+        self.by_frame = by_frame
+
+    def __call__(
+        self, ctx: ExecutionContext, rng: np.random.Generator, state: PipelineState
+    ) -> None:
+        if not self.injector.record.fired:
+            return
+        snapshot = self.by_frame.get(int(state.index.value))
+        if snapshot is None or ctx.cycles != snapshot.cycles:
+            return
+        if _matches_snapshot(snapshot, rng, state):
+            raise _GoldenTailReached(snapshot)
+
+
+def _matches_snapshot(
+    snapshot: FrameSnapshot, rng: np.random.Generator, state: PipelineState
+) -> bool:
+    """Exact loop-state equality against a tape snapshot (cheap first)."""
+    # ``state.outcomes`` is deliberately not compared: the loop only
+    # appends to it forward of a boundary (never reads it), and the
+    # member's own per-frame outcomes are not part of its result — so
+    # it cannot influence the tail.  Everything else is load-bearing.
+    if (
+        int(state.total.value) != snapshot.total
+        or int(state.failures.value) != snapshot.failures
+        or len(state.minis) != len(snapshot.minis)
+        or (state.prev_chain is None) != (snapshot.prev_chain is None)
+        or (state.prev_features is None) != (snapshot.features is None)
+    ):
+        return False
+    if rng.bit_generator.state != snapshot.rng_state:
+        return False
+    if state.prev_chain is not None and not np.array_equal(
+        state.prev_chain, snapshot.prev_chain
+    ):
+        return False
+    if snapshot.features is not None:
+        coords, descriptors, angles = snapshot.features
+        prev = state.prev_features
+        if not (
+            np.array_equal(prev.coords, coords)
+            and np.array_equal(prev.descriptors, descriptors)
+            and np.array_equal(prev.angles, angles)
+        ):
+            return False
+    for mini, mini_snap in zip(state.minis, snapshot.minis):
+        if (
+            mini.frames_composited != mini_snap.frames_composited
+            or not np.array_equal(mini.coverage, mini_snap.coverage)
+            or not np.array_equal(mini.canvas, mini_snap.canvas)
+        ):
+            return False
+    return True

@@ -6,9 +6,11 @@ The journal is a schema-versioned JSONL file the campaign engine
 appends to as chunks complete:
 
 * line 1 — a ``header`` record: schema version, a fingerprint of every
-  config field that affects results, and the chunk boundaries, so a
-  resume can detect config drift and re-chunk exactly as the original
-  run did (chunking depends on the original worker count);
+  config field that affects results, and the dispatch layout — contiguous
+  ``chunk_bounds`` for index-chunked campaigns, or the boundary ``groups``
+  (lists of plan indices) for boundary-batched ones — so a resume can
+  detect config drift and re-dispatch exactly as the original run did
+  (chunking depends on the original worker count; groups on the tape);
 * then one ``chunk`` record per completed injection chunk, carrying the
   chunk's fully serialized :class:`InjectionResult` list plus a CRC32
   of the payload.  Every append is flushed **and fsync'd**, so a record
@@ -50,7 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 #: Bump when a record's shape changes incompatibly; loaders reject
 #: journals from other schema versions rather than misreading them.
-JOURNAL_SCHEMA_VERSION = 1
+#: v2: header carries either ``chunk_bounds`` or boundary ``groups``
+#: (group-granularity checkpointing), and the fingerprint gained
+#: ``boundary_batch``.
+JOURNAL_SCHEMA_VERSION = 2
 
 #: Test/CI hook: abort the campaign after this many journal appends, to
 #: exercise the interrupt->resume path deterministically.
@@ -202,6 +207,10 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
         "watchdog_soft_deadline_s": watchdog.soft_deadline_s if watchdog else None,
         "probe": config.probe,
         "fast_forward": config.fast_forward,
+        # Boundary batching changes the journal's checkpoint granularity
+        # (groups instead of contiguous index chunks), so a mixed-mode
+        # resume must be rejected as a different campaign.
+        "boundary_batch": getattr(config, "boundary_batch", True),
     }
 
 
@@ -241,9 +250,21 @@ class CampaignJournal:
 
     @classmethod
     def create(
-        cls, path: Path, config: "CampaignConfig", bounds: list[tuple[int, int]]
+        cls,
+        path: Path,
+        config: "CampaignConfig",
+        bounds: list[tuple[int, int]] | None = None,
+        groups: list[list[int]] | None = None,
     ) -> "CampaignJournal":
-        """Start a fresh journal at ``path`` (truncating any old file)."""
+        """Start a fresh journal at ``path`` (truncating any old file).
+
+        Exactly one of ``bounds`` (contiguous index chunking) or
+        ``groups`` (boundary-batched dispatch: one chunk per group of
+        plan indices) describes the dispatch layout recorded in the
+        header.
+        """
+        if (bounds is None) == (groups is None):
+            raise ValueError("CampaignJournal.create needs exactly one of bounds/groups")
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = open(path, "w", encoding="utf-8")
@@ -251,8 +272,11 @@ class CampaignJournal:
             "type": "header",
             "schema": JOURNAL_SCHEMA_VERSION,
             "fingerprint": config_fingerprint(config),
-            "chunk_bounds": [[start, stop] for start, stop in bounds],
         }
+        if groups is not None:
+            header["groups"] = [list(group) for group in groups]
+        else:
+            header["chunk_bounds"] = [[start, stop] for start, stop in bounds]
         journal = cls(path, handle)
         journal._write_line(header)
         return journal
@@ -325,7 +349,11 @@ class JournalState:
 
     path: Path
     fingerprint: dict
+    #: Contiguous index chunking; empty for boundary-batched journals.
     chunk_bounds: list[tuple[int, int]]
+    #: Boundary groups (plan indices per chunk) for boundary-batched
+    #: journals; None for index-chunked ones.
+    groups: list[list[int]] | None = None
     #: Completed chunks, keyed by chunk index.
     chunks: dict[int, list[InjectionResult]] = field(default_factory=dict)
     #: True when a torn/corrupt trailing record was found and dropped.
@@ -369,16 +397,24 @@ def load_journal(path: Path) -> JournalState:
             f"journal {path}: schema {header.get('schema')!r} is not "
             f"supported (expected {JOURNAL_SCHEMA_VERSION})"
         )
-    bounds = [(int(start), int(stop)) for start, stop in header["chunk_bounds"]]
+    groups: list[list[int]] | None = None
+    if "groups" in header:
+        groups = [[int(index) for index in group] for group in header["groups"]]
+        bounds = []
+        expected_lengths = [len(group) for group in groups]
+    else:
+        bounds = [(int(start), int(stop)) for start, stop in header["chunk_bounds"]]
+        expected_lengths = [stop - start for start, stop in bounds]
 
     state = JournalState(
         path=path,
         fingerprint=header["fingerprint"],
         chunk_bounds=bounds,
+        groups=groups,
         discarded_partial=torn_tail,
     )
     for line_number, line in enumerate(lines[1:], start=2):
-        record = _parse_chunk_record(line, bounds)
+        record = _parse_chunk_record(line, expected_lengths)
         if record is None:
             # Torn or corrupt record: drop it (and keep scanning — later
             # records are independent and may be intact).
@@ -390,9 +426,13 @@ def load_journal(path: Path) -> JournalState:
 
 
 def _parse_chunk_record(
-    line: bytes, bounds: list[tuple[int, int]]
+    line: bytes, expected_lengths: list[int]
 ) -> tuple[int, list[InjectionResult]] | None:
-    """Parse one chunk line; None for anything torn or inconsistent."""
+    """Parse one chunk line; None for anything torn or inconsistent.
+
+    ``expected_lengths[i]`` is how many results chunk ``i`` must carry —
+    derived from the header's chunk bounds or boundary groups.
+    """
     try:
         record = json.loads(line)
     except json.JSONDecodeError:
@@ -400,11 +440,10 @@ def _parse_chunk_record(
     if not isinstance(record, dict) or record.get("type") != "chunk":
         return None
     chunk_index = record.get("chunk_index")
-    if not isinstance(chunk_index, int) or not 0 <= chunk_index < len(bounds):
+    if not isinstance(chunk_index, int) or not 0 <= chunk_index < len(expected_lengths):
         return None
     payload = record.get("results")
-    start, stop = bounds[chunk_index]
-    if not isinstance(payload, list) or len(payload) != stop - start:
+    if not isinstance(payload, list) or len(payload) != expected_lengths[chunk_index]:
         return None
     encoded = json.dumps(payload, separators=(",", ":"))
     if zlib.crc32(encoded.encode("utf-8")) != record.get("crc32"):

@@ -73,6 +73,7 @@ class FaultMonitor:
         watchdog: Optional[WatchdogPolicy] = None,
         probe: bool = False,
         fast_forward=None,
+        boundary_batch: bool = True,
     ) -> None:
         if golden_cycles <= 0:
             raise ValueError(f"golden_cycles must be positive, got {golden_cycles}")
@@ -90,6 +91,14 @@ class FaultMonitor:
         #: frame boundary restore that boundary's snapshot and execute
         #: only the suffix — bit-identical to the full execution.
         self.fast_forward = fast_forward
+        #: When True (the default) and a fast-forward handle is present,
+        #: runs resume through the boundary's shared
+        #: :class:`~repro.faultinject.fastforward.BoundaryFanOut` —
+        #: restore materialized once per worker, per-run state cloned
+        #: copy-on-write, golden tails synthesized.  ``False`` is the
+        #: ``--no-boundary-batch`` reference path: one full restore per
+        #: run, no convergence watch.
+        self.boundary_batch = boundary_batch
 
     def run_injected(self, plan: InjectionPlan, rng: np.random.Generator) -> InjectionResult:
         """Execute one injected run and classify the result."""
@@ -154,21 +163,27 @@ class FaultMonitor:
         divergence = (
             lambda: diff_against_golden(golden_signature, probe) if probe is not None else None
         )
-        snapshot = (
-            self.fast_forward.boundary_for(plan.target_cycle)
+        snapshot_index = (
+            self.fast_forward.boundary_index_for(plan.target_cycle)
             if self.fast_forward is not None
             else None
         )
         if telemetry.enabled() and self.fast_forward is not None:
-            if snapshot is not None:
+            if snapshot_index is not None:
                 telemetry.counter_inc("campaign.fastforward.hits")
                 telemetry.counter_inc(
-                    "campaign.fastforward.skipped_cycles", snapshot.cycles
+                    "campaign.fastforward.skipped_cycles",
+                    self.fast_forward.tape.boundaries[snapshot_index].cycles,
                 )
             else:
                 telemetry.counter_inc("campaign.fastforward.full_runs")
-        if snapshot is not None:
-            runner = lambda: self.fast_forward.resume(ctx, snapshot)  # noqa: E731
+        if snapshot_index is not None:
+            if self.boundary_batch:
+                fanout = self.fast_forward.fanout(snapshot_index)
+                runner = lambda: fanout.resume_member(ctx)  # noqa: E731
+            else:
+                snapshot = self.fast_forward.tape.boundaries[snapshot_index]
+                runner = lambda: self.fast_forward.resume(ctx, snapshot)  # noqa: E731
         else:
             runner = lambda: self.workload(ctx)  # noqa: E731
         try:

@@ -240,6 +240,16 @@ def _workload_state(spec: WorkloadSpec) -> tuple[Workload, np.ndarray, int]:
 _WORKER_FF: dict[WorkloadSpec, object] = {}
 
 
+def clear_fast_forward_cache() -> None:
+    """Drop this process's cached fast-forward handles (test isolation).
+
+    Called from :func:`repro.summarize.golden.clear_golden_cache`: the
+    handles wrap tapes captured against golden runs, so clearing one
+    without the other would leave handles over stale tapes.
+    """
+    _WORKER_FF.clear()
+
+
 def fast_forward_for(spec: WorkloadSpec | None, config: "CampaignConfig"):
     """The (cached) fast-forward handle the campaign config calls for.
 
@@ -276,6 +286,7 @@ def monitor_for(
         watchdog=config.watchdog,
         probe=config.probe,
         fast_forward=fast_forward,
+        boundary_batch=getattr(config, "boundary_batch", True),
     )
 
 
@@ -378,6 +389,39 @@ def chunk_indexed_plans(
     return chunks_from_bounds(plans, compute_chunk_bounds(len(plans), workers))
 
 
+def group_plan_indices(
+    boundary_index_for: Callable[[int], int | None],
+    plans: list[InjectionPlan],
+) -> list[list[int]]:
+    """Partition plan indices by the frame boundary they resume from.
+
+    The boundary-batched scheduler's unit of dispatch: all plans whose
+    target cycle fast-forwards from the same golden frame boundary form
+    one group, so a worker materializes that boundary's restore once and
+    fans every member out of it.  Plans with no eligible boundary
+    (targets before the first skippable frame) share a single fallback
+    group of full runs.
+
+    Deterministic and order-preserving: groups are emitted in order of
+    their first member's plan index, and members within a group keep
+    ascending plan index.  The flattened groups are a permutation of
+    ``range(len(plans))`` — the journal records them verbatim so a
+    resume replays the exact original dispatch.
+    """
+    members: dict[int | None, list[int]] = {}
+    for index, plan in enumerate(plans):
+        boundary = boundary_index_for(plan.target_cycle)
+        members.setdefault(boundary, []).append(index)
+    return sorted(members.values(), key=lambda group: group[0])
+
+
+def chunks_from_groups(
+    plans: list[InjectionPlan], groups: list[list[int]]
+) -> list[list[tuple[int, InjectionPlan]]]:
+    """Materialize indexed plan chunks, one chunk per boundary group."""
+    return [[(index, plans[index]) for index in group] for group in groups]
+
+
 def _terminate_pool_processes(pool: ProcessPoolExecutor) -> None:
     """Forcibly kill a pool's workers (a chunk blew its hard deadline).
 
@@ -459,6 +503,7 @@ def execute_plans_parallel(
     *,
     local_state: tuple[Workload, np.ndarray, int] | None = None,
     bounds: list[tuple[int, int]] | None = None,
+    groups: list[list[int]] | None = None,
     completed: dict[int, list[InjectionResult]] | None = None,
     journal: "CampaignJournal | None" = None,
     annotate: Callable[[str], None] | None = None,
@@ -481,6 +526,11 @@ def execute_plans_parallel(
     ``journal`` makes each newly finished chunk durable before it is
     counted.  ``bounds`` pins the chunk boundaries (resume must reuse
     the original run's); by default they derive from ``workers``.
+    ``groups`` (boundary-batched mode) replaces index chunking entirely:
+    each group of plan indices sharing a fast-forward boundary becomes
+    one chunk, so a whole group lands on one worker and shares its
+    restore.  Results are still flattened in plan-index order, so the
+    output is a plain in-order result list either way.
 
     When telemetry is enabled, each chunk returns a worker-side metric
     snapshot; snapshots are merged into the parent tracer **in chunk
@@ -490,9 +540,12 @@ def execute_plans_parallel(
     human-readable notes about retries and degradation (wired to the
     heartbeat by the campaign driver).
     """
-    if bounds is None:
-        bounds = compute_chunk_bounds(len(plans), workers)
-    chunks = chunks_from_bounds(plans, bounds)
+    if groups is not None:
+        chunks = chunks_from_groups(plans, groups)
+    else:
+        if bounds is None:
+            bounds = compute_chunk_bounds(len(plans), workers)
+        chunks = chunks_from_bounds(plans, bounds)
     if not chunks:
         return []
     retry = config.retry if config.retry is not None else RetryPolicy()
@@ -604,4 +657,13 @@ def execute_plans_parallel(
                 collector.secure(index, run_chunk_on_monitor(monitor, config, chunks[index]))
             pending.remove(index)
 
-    return collector.finish(len(chunks))
+    flat = collector.finish(len(chunks))
+    if groups is None:
+        return flat
+    # Group chunks are ordered by first member, not contiguous by plan
+    # index — put the flattened results back into injection order, so
+    # downstream statistics see exactly the serial path's sequence.
+    reordered: list[InjectionResult | None] = [None] * len(flat)
+    for position, plan_index in enumerate(index for group in groups for index in group):
+        reordered[plan_index] = flat[position]
+    return reordered

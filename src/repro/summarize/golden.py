@@ -49,6 +49,12 @@ _STATS = GoldenCacheStats()
 #: recorder cannot snapshot (it degrades to full executions).
 _TAPES: dict[tuple, object] = {}
 
+#: Per-process FastForward handles over the cached tapes.  Cached so the
+#: boundary fan-out state hanging off a handle (shared per-boundary
+#: restores, materialized once per worker) survives across campaigns in
+#: the same process instead of being rebuilt per campaign.
+_FF_HANDLES: dict[tuple, object] = {}
+
 
 def _cache_key(stream: FrameStream, config: VSConfig) -> tuple:
     """Cache key: the full ``(input, algorithm, scale)`` identity.
@@ -115,10 +121,11 @@ def golden_fast_forward(stream: FrameStream, config: VSConfig):
     Captures the snapshot tape once per process per workload — one
     instrumented golden-run's worth of work — and caches it next to the
     golden run itself, since both share a lifetime (anything that
-    invalidates the golden run invalidates every snapshot).  Returns a
-    fresh :class:`~repro.faultinject.fastforward.FastForward` handle
-    over the cached tape, or ``None`` when the workload cannot be
-    snapshotted.
+    invalidates the golden run invalidates every snapshot).  Returns the
+    process-cached :class:`~repro.faultinject.fastforward.FastForward`
+    handle over the cached tape (cached so boundary fan-out state
+    amortizes across campaigns), or ``None`` when the workload cannot
+    be snapshotted.
     """
     from repro.faultinject.fastforward import (
         FastForward,
@@ -127,6 +134,10 @@ def golden_fast_forward(stream: FrameStream, config: VSConfig):
     )
 
     key = _cache_key(stream, config)
+    handle = _FF_HANDLES.get(key)
+    if handle is not None:
+        telemetry.counter_inc("golden.tape_hit")
+        return handle
     if key in _TAPES:
         telemetry.counter_inc("golden.tape_hit")
         tape = _TAPES[key]
@@ -140,7 +151,9 @@ def golden_fast_forward(stream: FrameStream, config: VSConfig):
         _TAPES[key] = tape
     if tape is None:
         return None
-    return FastForward(tape, stream, config)
+    handle = FastForward(tape, stream, config)
+    _FF_HANDLES[key] = handle
+    return handle
 
 
 def golden_cache_stats() -> GoldenCacheStats:
@@ -151,14 +164,18 @@ def golden_cache_stats() -> GoldenCacheStats:
 def clear_golden_cache() -> None:
     """Drop all cached golden runs and reset the counters (test isolation).
 
-    Also drops the forensics layer's cached golden stage signatures:
-    they are keyed by workload identity, and any test that resets golden
-    runs invalidates the workloads those signatures were captured from.
+    Also drops the forensics layer's cached golden stage signatures
+    (keyed by workload identity, so resetting golden runs invalidates
+    the workloads they were captured from) and the parallel engine's
+    cached fast-forward handles (they wrap tapes cached here).
     """
+    from repro.faultinject.parallel import clear_fast_forward_cache
     from repro.forensics import probes
 
     _CACHE.clear()
     _TAPES.clear()
+    _FF_HANDLES.clear()
     _STATS.computes = 0
     _STATS.hits = 0
     probes.clear_golden_signatures()
+    clear_fast_forward_cache()

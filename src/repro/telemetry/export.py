@@ -168,13 +168,52 @@ def render_summary(summary: TraceSummary) -> str:
         f"{summary.total_events} span event(s)"
         + (f", {summary.dropped_events} dropped" if summary.dropped_events else "")
     )
+    fanout_lines = _render_fanout(summary)
+    if fanout_lines:
+        lines.append("")
+        lines.extend(fanout_lines)
     interesting = {
         name: value
         for name, value in summary.counters.items()
-        if not name.startswith(("cycles.", "trace."))
+        # Per-boundary fan-out counters feed the amortization table
+        # above; repeating them per-counter would drown the section.
+        if not name.startswith(("cycles.", "trace.", "campaign.fanout.b"))
     }
     if interesting:
         lines.append("counters:")
         for name in sorted(interesting):
             lines.append(f"  {name} = {interesting[name]}")
     return "\n".join(lines)
+
+
+def _render_fanout(summary: TraceSummary) -> list[str]:
+    """The boundary fan-out amortization table, when a trace has one.
+
+    Built entirely from the existing schema: ``fanout.suffix.b<frame>``
+    stage timers (one span per member suffix, worker-side timers merge
+    through the metrics record like every other stage) and the
+    ``campaign.fanout.b<frame>.*`` counters.
+    """
+    prefix = "fanout.suffix.b"
+    rows = []
+    for name, stat in summary.stages.items():
+        if not name.startswith(prefix):
+            continue
+        try:
+            frame = int(name[len(prefix) :])
+        except ValueError:
+            continue
+        members = summary.counters.get(
+            f"campaign.fanout.b{frame}.members", stat.count
+        )
+        saved = summary.counters.get(f"campaign.fanout.b{frame}.restores_saved", 0)
+        rows.append((frame, members, saved, stat.wall_s))
+    if not rows:
+        return []
+    lines = ["boundary fan-out (restore amortization per group):"]
+    for frame, members, saved, wall_s in sorted(rows):
+        lines.append(
+            f"  b{frame}: {members} member(s), {saved} restore(s) saved, "
+            f"suffix {wall_s:.4f}s"
+        )
+    return lines

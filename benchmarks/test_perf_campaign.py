@@ -14,6 +14,13 @@ Knobs (environment):
 * ``REPRO_BENCH_SCALE``   — ``tiny`` (default) / ``quick`` / ``medium``.
 * ``REPRO_BENCH_WORKERS`` — parallel worker count (default 4).
 * ``REPRO_BENCH_OUT``     — output JSON path (default ``BENCH_campaign.json``).
+* ``REPRO_BENCH_CI_WIDTH`` — Wilson-CI convergence target for the
+  stratified stage (default 0.25; the acceptance entry is recorded at
+  0.02, which needs thousands of draws per cell and is far too slow for
+  routine runs).
+* ``REPRO_BENCH_STRATA`` — stratified grid ``RxBxC`` (default ``1x2x2``).
+* ``REPRO_BENCH_ROUND_SIZE`` — per-cell draws per stratified round
+  (default 64).
 
 Speedup is bounded by the cores the machine actually grants
 (``cpu_count`` is recorded with every entry for exactly that reason).
@@ -53,6 +60,21 @@ def _bench_workers() -> int:
 
 def _out_path() -> Path:
     return Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT / "BENCH_campaign.json"))
+
+
+def _bench_ci_width() -> float:
+    return float(os.environ.get("REPRO_BENCH_CI_WIDTH", "0.25"))
+
+
+def _bench_strata() -> tuple[int, int, int]:
+    raw = os.environ.get("REPRO_BENCH_STRATA", "1x2x2")
+    parts = tuple(int(part) for part in raw.lower().split("x"))
+    assert len(parts) == 3 and all(part >= 1 for part in parts), raw
+    return parts
+
+
+def _bench_round_size() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_ROUND_SIZE", "64")))
 
 
 def _time_campaign(
@@ -175,6 +197,47 @@ def test_campaign_perf_trajectory(tmp_path):
         stream, config, golden, scale.injections, workers=1, spec=spec
     )
 
+    # Adaptive stratified campaign to a matched per-cell Wilson-CI
+    # width.  Uniform sampling cannot stop per cell: to guarantee the
+    # same width in the slowest-converging cell it must keep drawing
+    # until that cell's expected share of a uniform stream reaches the
+    # same count, i.e. ``max_c ceil(draws_c / W_c)`` total draws.  The
+    # stratified planner stops converged cells, so ``draws_saved`` is
+    # the injections it did not have to run.
+    ci_width = _bench_ci_width()
+    strata = _bench_strata()
+    strat_start = time.perf_counter()
+    stratified = run_campaign(
+        vs_workload(stream, config),
+        golden.output,
+        golden.total_cycles,
+        CampaignConfig(
+            n_injections=1,
+            kind=RegKind.GPR,
+            seed=BENCH_SEED,
+            keep_sdc_outputs=False,
+            workers=1,
+            sampling="stratified",
+            ci_width=ci_width,
+            round_size=_bench_round_size(),
+            strata=strata,
+        ),
+        spec=spec,
+    )
+    stratified_s = time.perf_counter() - strat_start
+    sampling = stratified.sampling
+    assert sampling is not None
+    assert not sampling.budget_exhausted
+    assert sampling.cells_converged == len(sampling.cells)
+    # The whole point of adaptive stopping: fewer injections than a
+    # uniform campaign needs for the same per-cell CI guarantee.
+    assert sampling.draws_saved() > 0, (
+        f"stratified planner saved no draws at ci_width={ci_width}: "
+        f"{sampling.total_draws} drawn vs "
+        f"{sampling.uniform_equivalent_draws()} uniform-equivalent"
+    )
+    per_injection_s = stratified_s / sampling.total_draws if sampling.total_draws else 0.0
+
     # Untimed telemetry-enabled run on a cold cache: harvest the
     # fast-forward and fan-out counters that explain *why* the timings
     # above moved (how many runs fast-forwarded, how many groups, how
@@ -277,6 +340,24 @@ def test_campaign_perf_trajectory(tmp_path):
             "cow_clones": counters.get("campaign.fanout.cow_clones", 0),
             "golden_tails": counters.get("campaign.fanout.golden_tail", 0),
         },
+        "stratified": {
+            "ci_width": ci_width,
+            "strata": list(strata),
+            "round_size": _bench_round_size(),
+            "stratified_s": round(stratified_s, 3),
+            "draws": sampling.total_draws,
+            "rounds": sampling.rounds,
+            "cells": len(sampling.cells),
+            "cells_converged": sampling.cells_converged,
+            "uniform_equivalent_draws": sampling.uniform_equivalent_draws(),
+            "draws_saved": sampling.draws_saved(),
+            # Uniform wall-clock at the matched CI width, estimated from
+            # the measured per-injection cost (running the uniform
+            # campaign to the same guarantee would take strictly longer).
+            "uniform_equivalent_s_est": round(
+                per_injection_s * sampling.uniform_equivalent_draws(), 3
+            ),
+        },
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -293,6 +374,8 @@ def test_campaign_perf_trajectory(tmp_path):
         f"fan-out {fanout_s:.2f}s ({entry['fanout_speedup']}x, "
         f"{entry['fanout']['groups']} groups, "
         f"{entry['fanout']['golden_tails']} golden tails), "
+        f"stratified(ci={ci_width}) {stratified_s:.2f}s "
+        f"({sampling.total_draws} draws, saved {sampling.draws_saved()}), "
         f"speedup {entry['speedup']}x on {entry['cpu_count']} cpu(s) "
         f"-> {_out_path()}"
     )

@@ -3,13 +3,16 @@
 The paper estimates the minimum number of error injections by watching
 the outcome-rate trend curves and finding the *knee* — the point after
 which the rates change only trivially (they conclude 1000 injections).
+The adaptive stratified planner (:mod:`repro.faultinject.sampling`)
+replaces eyeballing the knee with a per-cell Wilson-CI width test; the
+width helper lives here with the rest of the sufficiency machinery.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.faultinject.outcomes import Outcome, RunningRates
+from repro.faultinject.outcomes import Outcome, RunningRates, wilson_interval
 
 
 def knee_point(running: RunningRates, tolerance: float = 0.02) -> int | None:
@@ -47,3 +50,19 @@ def coverage_uniformity(histogram: np.ndarray) -> float:
     if mean == 0:
         return 0.0
     return float(hist.std() / mean)
+
+
+def wilson_width(successes: int, total: int, z: float = 1.96) -> float:
+    """Width of the Wilson score CI for a binomial rate.
+
+    The convergence-stopping criterion of the stratified planner: a
+    rate is *resolved* once this width drops below the target.  With no
+    samples nothing is resolved, so ``total == 0`` returns the maximal
+    width 1.0 (note :func:`~repro.faultinject.outcomes.wilson_interval`
+    itself degenerates to ``(0, 0)`` there — correct for a point
+    estimate, wrong for an uncertainty measure).
+    """
+    if total == 0:
+        return 1.0
+    low, high = wilson_interval(successes, total, z)
+    return high - low

@@ -30,8 +30,13 @@ def counts_to_dict(counts: OutcomeCounts) -> dict[str, Any]:
 
 
 def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
-    """Serializable summary of a campaign (without SDC images)."""
-    return {
+    """Serializable summary of a campaign (without SDC images).
+
+    Stratified campaigns additionally carry a ``sampling`` block (cell
+    grid, per-cell statistics, raw vs reweighted rates); uniform
+    campaigns keep exactly their previous shape.
+    """
+    payload = {
         "n_injections": campaign.config.n_injections,
         "kind": campaign.config.kind.value,
         "seed": campaign.config.seed,
@@ -55,6 +60,9 @@ def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
             for result in campaign.results
         ],
     }
+    if campaign.sampling is not None:
+        payload["sampling"] = campaign.sampling.to_dict()
+    return payload
 
 
 def save_json(path: str | Path, payload: dict[str, Any]) -> Path:

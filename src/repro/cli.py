@@ -32,6 +32,11 @@ renders stored campaigns::
 
 ``report diff`` exits 4 when a statistically significant outcome-rate
 shift is flagged, 0 when the campaigns are consistent.
+
+Adaptive sampling (see ``docs/sampling.md``): ``campaign --sampling
+stratified --ci-width 0.02`` stratifies draws over (register-class x
+bit-octet x resume-boundary) cells and stops each cell once its Wilson
+CI converges, reporting raw and Horvitz-Thompson reweighted rates.
 """
 
 from __future__ import annotations
@@ -62,6 +67,24 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {raw!r}")
     return value
+
+
+def _strata_grid(raw: str) -> tuple[int, int, int]:
+    """Parse a ``RxBxC`` stratification grid (e.g. ``4x8x8``)."""
+    parts = raw.lower().split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"must be REGxBITxCYCLE (e.g. 4x8x8), got {raw!r}"
+        )
+    try:
+        grid = tuple(int(part) for part in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be REGxBITxCYCLE (e.g. 4x8x8), got {raw!r}"
+        ) from None
+    if any(value < 1 for value in grid):
+        raise argparse.ArgumentTypeError(f"grid sizes must be >= 1, got {raw!r}")
+    return grid
 
 
 @contextlib.contextmanager
@@ -174,6 +197,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                     probe=args.probe,
                     fast_forward=args.fast_forward,
                     boundary_batch=args.boundary_batch,
+                    sampling=args.sampling,
+                    ci_width=args.ci_width,
+                    round_size=args.round_size,
+                    max_injections=args.max_injections,
+                    strata=args.strata,
                 ),
                 spec=VSWorkloadSpec.for_stream(stream, config),
                 journal_path=journal_path,
@@ -183,12 +211,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"campaign interrupted: {interrupted}")
             return 3
         counts = campaign.counts
+        n_done = counts.total if campaign.sampling is not None else args.n
         print(
-            f"{config.name} on {args.input}, {args.n} {kind.value.upper()} injections "
+            f"{config.name} on {args.input}, {n_done} {kind.value.upper()} injections "
             f"({workers} worker{'s' if workers != 1 else ''}):"
         )
-        for name, rate in counts.rates().items():
-            print(f"  {name:6s} {rate:7.2%}")
+        if campaign.sampling is not None:
+            sampling = campaign.sampling
+            ht = sampling.ht_rates()
+            for name, rate in sampling.raw_rates().items():
+                print(f"  {name:6s} {rate:7.2%} raw | {ht[name]:7.2%} reweighted")
+            print(
+                f"  stratified: {sampling.rounds} rounds, "
+                f"{sampling.cells_converged}/{len(sampling.cells)} cells converged, "
+                f"{sampling.total_draws} draws "
+                f"(uniform-equivalent {sampling.uniform_equivalent_draws()}, "
+                f"saved {sampling.draws_saved()})"
+            )
+            if sampling.budget_exhausted:
+                print("  warning: draw budget exhausted before full convergence")
+        else:
+            for name, rate in counts.rates().items():
+                print(f"  {name:6s} {rate:7.2%}")
         if counts.crash:
             print(f"  crashes: {counts.crash_segv} segv / {counts.crash_abort} abort")
         if args.probe:
@@ -429,6 +473,49 @@ def build_parser() -> argparse.ArgumentParser:
         "per injection instead of grouping injections by frame boundary "
         "and sharing the restore (results are bit-identical either way; "
         "this is the reference path CI diffs batched campaigns against)",
+    )
+    p_camp.add_argument(
+        "--sampling",
+        default="uniform",
+        choices=["uniform", "stratified"],
+        help="plan-drawing strategy: 'uniform' (the paper's brute-force "
+        "draw, byte-identical across releases for a given seed) or "
+        "'stratified' (adaptive rounds over register/bit/boundary cells "
+        "with per-cell Wilson-CI convergence stopping; -n is ignored — "
+        "see docs/sampling.md)",
+    )
+    p_camp.add_argument(
+        "--ci-width",
+        type=float,
+        default=0.02,
+        metavar="W",
+        help="stratified mode: stop sampling a cell once the widest "
+        "Wilson 95%% CI over its outcome rates is at most W",
+    )
+    p_camp.add_argument(
+        "--round-size",
+        type=_positive_int,
+        default=8,
+        metavar="K",
+        help="stratified mode: draws per unresolved cell per round "
+        "(journals checkpoint once per round)",
+    )
+    p_camp.add_argument(
+        "--max-injections",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stratified mode: hard campaign-wide draw budget "
+        "(default: sample until every cell converges)",
+    )
+    p_camp.add_argument(
+        "--strata",
+        type=_strata_grid,
+        default=(4, 8, 8),
+        metavar="RxBxC",
+        help="stratified mode: cell grid as register-classes x "
+        "bit-octets x max-cycle-strata (default 4x8x8; register classes "
+        "and bit octets must divide 32 and 64)",
     )
     p_camp.add_argument(
         "--store",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.faultinject.journal import (
     JournalError,
     config_fingerprint,
     load_journal,
+    require_sampling_mode,
 )
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
 from repro.faultinject.outcomes import OutcomeCounts, RunningRates
@@ -37,6 +39,9 @@ from repro.faultinject.parallel import (
 )
 from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, LivenessModel, RegKind
 from repro.faultinject.watchdog import WatchdogPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faultinject.sampling import StratifiedSummary
 
 
 @dataclass
@@ -93,6 +98,31 @@ class CampaignConfig:
     #: the journal config fingerprint: journals checkpoint at group
     #: granularity in this mode, so mixed-mode resume is rejected.
     boundary_batch: bool = True
+    #: Sampling strategy (see :mod:`repro.faultinject.sampling`).
+    #: ``"uniform"`` (the default) draws ``n_injections`` plans exactly
+    #: as every previous release did — byte-identical for the same seed,
+    #: an invariant pinned by tests.  ``"stratified"`` ignores
+    #: ``n_injections`` and instead samples (register-class x bit-octet
+    #: x resume-boundary) cells in rounds, stopping each cell once its
+    #: widest Wilson CI drops below ``ci_width``; results carry both raw
+    #: and Horvitz-Thompson reweighted rates.  Part of the journal
+    #: config fingerprint, so mixed-mode resume is rejected.
+    sampling: str = "uniform"
+    #: Stratified mode: per-cell convergence target — a cell stops once
+    #: the widest Wilson 95% CI over its outcome rates is at most this.
+    ci_width: float = 0.02
+    #: Stratified mode: injections drawn per still-unresolved cell per
+    #: round (the journal checkpoints once per round).
+    round_size: int = 8
+    #: Stratified mode: hard campaign-wide draw budget; ``None`` keeps
+    #: sampling until every cell converges.  A cell that cannot reach
+    #: ``ci_width`` within the budget is reported unconverged.
+    max_injections: int | None = None
+    #: Stratified mode: the cell grid as (register classes, bit octets,
+    #: max cycle strata).  Register classes and bit octets must divide
+    #: 32 and 64; cycle strata snap to the golden run's frame boundaries
+    #: when a snapshot tape exists.
+    strata: tuple[int, int, int] = (4, 8, 8)
 
 
 @dataclass
@@ -109,6 +139,10 @@ class CampaignResult:
     #: so the full ``results`` list never has to be re-walked (and could
     #: in principle be dropped for huge campaigns).
     fired: OutcomeCounts | None = None
+    #: Stratified-sampling summary (per-cell statistics, raw vs
+    #: Horvitz-Thompson reweighted rates, draws saved) when the campaign
+    #: ran with ``sampling="stratified"``; None for uniform campaigns.
+    sampling: "StratifiedSummary | None" = None
 
     @property
     def sdc_results(self) -> list[InjectionResult]:
@@ -211,6 +245,9 @@ def _prepare_journal(
         return journal, bounds, None, {}, False
 
     state = load_journal(journal_path)
+    # Mode mixing gets its own targeted error before the generic
+    # fingerprint comparison (which would also refuse it, less clearly).
+    require_sampling_mode(state.fingerprint, config, journal_path)
     fingerprint = config_fingerprint(config)
     if state.fingerprint != fingerprint:
         raise JournalError(
@@ -274,7 +311,29 @@ def run_campaign(
     additionally records phase spans, per-outcome counters and a
     progress heartbeat on stderr — none of which feed back into the
     campaign, so traced and untraced runs produce identical results.
+
+    ``config.sampling="stratified"`` dispatches to the adaptive planner
+    (see :mod:`repro.faultinject.sampling`): draws are stratified over
+    (register-class x bit-octet x resume-boundary) cells and each cell
+    stops once its Wilson-CI width converges.  The default uniform mode
+    is untouched — plans stay byte-identical to previous releases.
     """
+    if config.sampling not in ("uniform", "stratified"):
+        raise ValueError(
+            f"sampling must be 'uniform' or 'stratified', got {config.sampling!r}"
+        )
+    if config.sampling == "stratified":
+        from repro.faultinject.sampling import run_stratified_campaign
+
+        return run_stratified_campaign(
+            workload,
+            golden_output,
+            golden_cycles,
+            config,
+            spec=spec,
+            journal_path=journal_path,
+            resume=resume,
+        )
     workers = resolve_workers(config.workers, max_useful=config.n_injections)
     with telemetry.span("campaign.draw_plans"):
         plans = draw_plans(config, golden_cycles)

@@ -7,12 +7,15 @@ appends to as chunks complete:
 
 * line 1 — a ``header`` record: schema version, a fingerprint of every
   config field that affects results, and the dispatch layout — contiguous
-  ``chunk_bounds`` for index-chunked campaigns, or the boundary ``groups``
-  (lists of plan indices) for boundary-batched ones — so a resume can
-  detect config drift and re-dispatch exactly as the original run did
-  (chunking depends on the original worker count; groups on the tape);
-* then one ``chunk`` record per completed injection chunk, carrying the
-  chunk's fully serialized :class:`InjectionResult` list plus a CRC32
+  ``chunk_bounds`` for index-chunked campaigns, the boundary ``groups``
+  (lists of plan indices) for boundary-batched ones, or the
+  ``stratification`` grid for adaptive stratified campaigns — so a
+  resume can detect config drift and re-dispatch exactly as the
+  original run did (chunking depends on the original worker count;
+  groups on the tape; stratified rounds on the accumulated statistics);
+* then one ``chunk`` record per completed injection chunk (or one
+  ``round`` record per completed stratified sampling round), carrying
+  the fully serialized :class:`InjectionResult` list plus a CRC32
   of the payload.  Every append is flushed **and fsync'd**, so a record
   that made it into the file survives the process.
 
@@ -55,7 +58,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 #: v2: header carries either ``chunk_bounds`` or boundary ``groups``
 #: (group-granularity checkpointing), and the fingerprint gained
 #: ``boundary_batch``.
-JOURNAL_SCHEMA_VERSION = 2
+#: v3: stratified campaigns (see :mod:`repro.faultinject.sampling`)
+#: checkpoint at **round** granularity — the header carries the
+#: ``stratification`` grid instead of a dispatch layout, followed by one
+#: ``round`` record per completed sampling round — and the fingerprint
+#: gained ``sampling`` (plus the stratified knobs when active), so a
+#: journal written in one sampling mode cannot be resumed in the other.
+JOURNAL_SCHEMA_VERSION = 3
 
 #: Test/CI hook: abort the campaign after this many journal appends, to
 #: exercise the interrupt->resume path deterministically.
@@ -211,7 +220,46 @@ def config_fingerprint(config: "CampaignConfig") -> dict:
         # (groups instead of contiguous index chunks), so a mixed-mode
         # resume must be rejected as a different campaign.
         "boundary_batch": getattr(config, "boundary_batch", True),
+        # Sampling mode decides what the journal even records (index
+        # chunks / boundary groups vs adaptive rounds) and which plans
+        # exist at all, so uniform and stratified journals are different
+        # campaigns by construction.  The stratified knobs join only in
+        # stratified mode: changing them must invalidate stratified
+        # journals without perturbing every uniform fingerprint.
+        "sampling": getattr(config, "sampling", "uniform"),
+        **(
+            {
+                "stratified": {
+                    "ci_width": config.ci_width,
+                    "round_size": config.round_size,
+                    "max_injections": config.max_injections,
+                    "strata": list(config.strata),
+                }
+            }
+            if getattr(config, "sampling", "uniform") == "stratified"
+            else {}
+        ),
     }
+
+
+def require_sampling_mode(
+    fingerprint: dict, config: "CampaignConfig", path: Path
+) -> None:
+    """Reject a resume that mixes sampling modes, with a targeted error.
+
+    The full fingerprint comparison would also refuse the mix, but its
+    generic "different configuration" message buries the one field that
+    matters; mode mixing deserves a message naming both modes.
+    """
+    journal_mode = fingerprint.get("sampling", "uniform")
+    config_mode = getattr(config, "sampling", "uniform")
+    if journal_mode != config_mode:
+        raise JournalError(
+            f"journal {path} was written by a sampling={journal_mode!r} "
+            f"campaign and cannot be resumed with sampling={config_mode!r}: "
+            f"the modes draw different plans and checkpoint at different "
+            f"granularities, so their results cannot be mixed"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -255,16 +303,22 @@ class CampaignJournal:
         config: "CampaignConfig",
         bounds: list[tuple[int, int]] | None = None,
         groups: list[list[int]] | None = None,
+        stratification: dict | None = None,
     ) -> "CampaignJournal":
         """Start a fresh journal at ``path`` (truncating any old file).
 
-        Exactly one of ``bounds`` (contiguous index chunking) or
+        Exactly one of ``bounds`` (contiguous index chunking),
         ``groups`` (boundary-batched dispatch: one chunk per group of
-        plan indices) describes the dispatch layout recorded in the
-        header.
+        plan indices) or ``stratification`` (adaptive stratified
+        campaigns: the cell grid, checkpointed per round) describes the
+        dispatch layout recorded in the header.
         """
-        if (bounds is None) == (groups is None):
-            raise ValueError("CampaignJournal.create needs exactly one of bounds/groups")
+        given = [value for value in (bounds, groups, stratification) if value is not None]
+        if len(given) != 1:
+            raise ValueError(
+                "CampaignJournal.create needs exactly one of "
+                "bounds/groups/stratification"
+            )
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = open(path, "w", encoding="utf-8")
@@ -273,7 +327,9 @@ class CampaignJournal:
             "schema": JOURNAL_SCHEMA_VERSION,
             "fingerprint": config_fingerprint(config),
         }
-        if groups is not None:
+        if stratification is not None:
+            header["stratification"] = stratification
+        elif groups is not None:
             header["groups"] = [list(group) for group in groups]
         else:
             header["chunk_bounds"] = [[start, stop] for start, stop in bounds]
@@ -317,6 +373,30 @@ class CampaignJournal:
             self.close()
             raise CampaignInterrupted(self.path, self.chunks_written)
 
+    def append_round(self, round_index: int, results: list[InjectionResult]) -> None:
+        """Durably record one completed stratified sampling round.
+
+        Same durability contract as :meth:`append_chunk`; rounds count
+        toward the abort-after test hook exactly as chunks do, so the
+        interrupt/resume suite exercises stratified campaigns with the
+        same environment knob.
+        """
+        payload = [serialize_result(result) for result in results]
+        encoded = json.dumps(payload, separators=(",", ":"))
+        self._write_line(
+            {
+                "type": "round",
+                "round_index": round_index,
+                "n_results": len(results),
+                "crc32": zlib.crc32(encoded.encode("utf-8")),
+                "results": payload,
+            }
+        )
+        self.chunks_written += 1
+        if self._abort_after is not None and self.chunks_written >= self._abort_after:
+            self.close()
+            raise CampaignInterrupted(self.path, self.chunks_written)
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
@@ -349,19 +429,27 @@ class JournalState:
 
     path: Path
     fingerprint: dict
-    #: Contiguous index chunking; empty for boundary-batched journals.
+    #: Contiguous index chunking; empty for boundary-batched and
+    #: stratified journals.
     chunk_bounds: list[tuple[int, int]]
     #: Boundary groups (plan indices per chunk) for boundary-batched
     #: journals; None for index-chunked ones.
     groups: list[list[int]] | None = None
+    #: The stratification grid (see ``Stratification.to_dict``) for
+    #: stratified journals; None otherwise.
+    stratification: dict | None = None
     #: Completed chunks, keyed by chunk index.
     chunks: dict[int, list[InjectionResult]] = field(default_factory=dict)
+    #: Completed sampling rounds (stratified journals), keyed by round
+    #: index.
+    rounds: dict[int, list[InjectionResult]] = field(default_factory=dict)
     #: True when a torn/corrupt trailing record was found and dropped.
     discarded_partial: bool = False
 
     @property
     def injections_done(self) -> int:
-        return sum(len(results) for results in self.chunks.values())
+        chunked = sum(len(results) for results in self.chunks.values())
+        return chunked + sum(len(results) for results in self.rounds.values())
 
 
 def load_journal(path: Path) -> JournalState:
@@ -398,7 +486,12 @@ def load_journal(path: Path) -> JournalState:
             f"supported (expected {JOURNAL_SCHEMA_VERSION})"
         )
     groups: list[list[int]] | None = None
-    if "groups" in header:
+    stratification: dict | None = None
+    if "stratification" in header:
+        stratification = header["stratification"]
+        bounds = []
+        expected_lengths = []
+    elif "groups" in header:
         groups = [[int(index) for index in group] for group in header["groups"]]
         bounds = []
         expected_lengths = [len(group) for group in groups]
@@ -411,9 +504,18 @@ def load_journal(path: Path) -> JournalState:
         fingerprint=header["fingerprint"],
         chunk_bounds=bounds,
         groups=groups,
+        stratification=stratification,
         discarded_partial=torn_tail,
     )
     for line_number, line in enumerate(lines[1:], start=2):
+        if stratification is not None:
+            round_record = _parse_round_record(line)
+            if round_record is None:
+                state.discarded_partial = True
+                continue
+            round_index, results = round_record
+            state.rounds[round_index] = results
+            continue
         record = _parse_chunk_record(line, expected_lengths)
         if record is None:
             # Torn or corrupt record: drop it (and keep scanning — later
@@ -450,5 +552,33 @@ def _parse_chunk_record(
         return None
     try:
         return chunk_index, [deserialize_result(item) for item in payload]
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def _parse_round_record(line: bytes) -> tuple[int, list[InjectionResult]] | None:
+    """Parse one stratified round line; None for anything torn or corrupt.
+
+    Unlike chunks, a round's length is not fixed by the header — each
+    round samples however many cells were still unresolved — so the
+    integrity check is the declared length plus the CRC.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or record.get("type") != "round":
+        return None
+    round_index = record.get("round_index")
+    if not isinstance(round_index, int) or round_index < 0:
+        return None
+    payload = record.get("results")
+    if not isinstance(payload, list) or len(payload) != record.get("n_results"):
+        return None
+    encoded = json.dumps(payload, separators=(",", ":"))
+    if zlib.crc32(encoded.encode("utf-8")) != record.get("crc32"):
+        return None
+    try:
+        return round_index, [deserialize_result(item) for item in payload]
     except (KeyError, ValueError, TypeError):
         return None

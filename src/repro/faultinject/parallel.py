@@ -375,10 +375,18 @@ def compute_chunk_bounds(n_plans: int, workers: int) -> list[tuple[int, int]]:
 
 
 def chunks_from_bounds(
-    plans: list[InjectionPlan], bounds: list[tuple[int, int]]
+    plans: list[InjectionPlan],
+    bounds: list[tuple[int, int]],
+    index_base: int = 0,
 ) -> list[list[tuple[int, InjectionPlan]]]:
-    """Materialize the indexed plan chunks for the given boundaries."""
-    indexed = list(enumerate(plans))
+    """Materialize the indexed plan chunks for the given boundaries.
+
+    ``index_base`` offsets the per-run RNG index: stratified campaigns
+    execute plans round by round, and each round's runs must continue
+    the campaign-global ``(seed, index)`` derivation rather than restart
+    it at zero.  Bounds stay in local (0-based) plan positions.
+    """
+    indexed = list(enumerate(plans, start=index_base))
     return [indexed[start:stop] for start, stop in bounds]
 
 
@@ -416,10 +424,19 @@ def group_plan_indices(
 
 
 def chunks_from_groups(
-    plans: list[InjectionPlan], groups: list[list[int]]
+    plans: list[InjectionPlan],
+    groups: list[list[int]],
+    index_base: int = 0,
 ) -> list[list[tuple[int, InjectionPlan]]]:
-    """Materialize indexed plan chunks, one chunk per boundary group."""
-    return [[(index, plans[index]) for index in group] for group in groups]
+    """Materialize indexed plan chunks, one chunk per boundary group.
+
+    Group members are local plan positions; ``index_base`` offsets only
+    the RNG index carried alongside each plan (see
+    :func:`chunks_from_bounds`).
+    """
+    return [
+        [(index_base + index, plans[index]) for index in group] for group in groups
+    ]
 
 
 def _terminate_pool_processes(pool: ProcessPoolExecutor) -> None:
@@ -508,6 +525,7 @@ def execute_plans_parallel(
     journal: "CampaignJournal | None" = None,
     annotate: Callable[[str], None] | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    index_base: int = 0,
 ) -> list[InjectionResult]:
     """Run all plans, in injection order, surviving worker failures.
 
@@ -530,7 +548,10 @@ def execute_plans_parallel(
     each group of plan indices sharing a fast-forward boundary becomes
     one chunk, so a whole group lands on one worker and shares its
     restore.  Results are still flattened in plan-index order, so the
-    output is a plain in-order result list either way.
+    output is a plain in-order result list either way.  ``index_base``
+    offsets the per-run RNG index without shifting chunk/group
+    positions — stratified campaigns use it so each round continues the
+    campaign-global ``(seed, index)`` derivation.
 
     When telemetry is enabled, each chunk returns a worker-side metric
     snapshot; snapshots are merged into the parent tracer **in chunk
@@ -541,11 +562,11 @@ def execute_plans_parallel(
     heartbeat by the campaign driver).
     """
     if groups is not None:
-        chunks = chunks_from_groups(plans, groups)
+        chunks = chunks_from_groups(plans, groups, index_base=index_base)
     else:
         if bounds is None:
             bounds = compute_chunk_bounds(len(plans), workers)
-        chunks = chunks_from_bounds(plans, bounds)
+        chunks = chunks_from_bounds(plans, bounds, index_base=index_base)
     if not chunks:
         return []
     retry = config.retry if config.retry is not None else RetryPolicy()

@@ -106,6 +106,83 @@ def _rates_section(record: dict) -> Section:
     return section
 
 
+#: Per-cell rows shown in the stratified CI table before capping to the
+#: widest-interval cells (full grids can run to hundreds of cells).
+MAX_CELL_ROWS = 24
+
+
+def _sampling_sections(record: dict) -> list[Section]:
+    """Stratified-campaign sections: estimator table + per-cell CIs.
+
+    Only stratified records carry a ``sampling`` block; uniform reports
+    are unchanged.
+    """
+    sampling = record.get("sampling")
+    if not sampling:
+        return []
+    grid = sampling["stratification"]
+    overview = Section("Stratified sampling", headers=["field", "value"])
+    overview.rows = [
+        [
+            "strata grid",
+            f"{grid['register_classes']} reg x {grid['bit_octets']} bit x "
+            f"{len(grid['cycle_edges']) - 1} cycle",
+        ],
+        ["cells", len(sampling["cells"])],
+        ["cells converged", sampling["cells_converged"]],
+        ["ci-width target", f"{sampling['ci_width']:g}"],
+        ["rounds", sampling["rounds"]],
+        ["draws", sampling["draws"]],
+        ["uniform-equivalent draws", sampling["uniform_equivalent_draws"]],
+        ["draws saved", sampling["draws_saved"]],
+        ["budget exhausted", "yes" if sampling["budget_exhausted"] else "no"],
+    ]
+
+    rates = Section(
+        "Raw vs reweighted outcome rates",
+        headers=["outcome", "raw", "reweighted"],
+    )
+    for outcome, _fields in OUTCOME_FIELDS:
+        rates.rows.append(
+            [
+                outcome,
+                _fmt_rate(sampling["raw_rates"][outcome]),
+                _fmt_rate(sampling["ht_rates"][outcome]),
+            ]
+        )
+    rates.notes.append(
+        "reweighted (Horvitz-Thompson) rates are comparable to uniform "
+        "campaigns; raw rates are biased toward oversampled strata "
+        "(see docs/sampling.md)"
+    )
+
+    cells = Section(
+        "Per-cell Wilson-CI widths",
+        headers=["cell", "registers", "bits", "cycles", "draws", "max_ci_width", "converged_round"],
+    )
+    rows = sorted(
+        sampling["cells"], key=lambda cell: (-cell["max_ci_width"], cell["cell"])
+    )
+    shown = rows[:MAX_CELL_ROWS]
+    for cell in shown:
+        cells.rows.append(
+            [
+                cell["cell"],
+                f"{cell['registers'][0]}-{cell['registers'][1] - 1}",
+                f"{cell['bits'][0]}-{cell['bits'][1] - 1}",
+                f"{cell['cycles'][0]}-{cell['cycles'][1] - 1}",
+                cell["draws"],
+                _fmt_rate(cell["max_ci_width"]),
+                cell["converged_round"] if cell["converged_round"] is not None else "-",
+            ]
+        )
+    if len(rows) > len(shown):
+        cells.notes.append(
+            f"showing the {len(shown)} widest of {len(rows)} cells"
+        )
+    return [overview, rates, cells]
+
+
 def _heatmap_sections(record: dict) -> list[Section]:
     """Register x bit-octet count tables, one per non-masked outcome.
 
@@ -191,6 +268,7 @@ def _sdc_quality_section(record: dict) -> Section | None:
 def build_sections(record: dict) -> list[Section]:
     """The full report as format-independent sections (fixed order)."""
     sections = [_overview_section(record), _rates_section(record)]
+    sections.extend(_sampling_sections(record))
     sections.extend(_heatmap_sections(record))
     sections.extend(_divergence_sections(record))
     quality = _sdc_quality_section(record)
@@ -319,13 +397,41 @@ def two_proportion_z(successes_a: int, total_a: int, successes_b: int, total_b: 
     return (p_a - p_b) / float(np.sqrt(variance))
 
 
+def _effective_outcome_counts(record: dict) -> tuple[dict[str, int], int]:
+    """Outcome counts the diff gate should compare, plus the total.
+
+    Uniform records compare their observed counts directly.  A
+    stratified record's raw counts are deliberately biased (converged
+    cells stop early, unresolved ones keep sampling), so comparing them
+    against a uniform campaign would flag the sampling design, not a
+    rate shift.  The valid comparison is the Horvitz-Thompson
+    reweighted rate scaled back to an effective count at the campaign's
+    draw total — conservative, since the stratified estimator's true
+    variance is at most the binomial variance the z-test assumes.
+    """
+    counts = record["counts"]
+    total = int(counts["total"])
+    sampling = record.get("sampling")
+    if sampling:
+        return {
+            outcome: round(sampling["ht_rates"][outcome] * total)
+            for outcome, _fields in OUTCOME_FIELDS
+        }, total
+    return {
+        outcome: _outcome_count(counts, fields)
+        for outcome, fields in OUTCOME_FIELDS
+    }, total
+
+
 def diff_records(record_a: dict, record_b: dict) -> dict:
     """Compare two stored records; returns rows and flagged shifts.
 
     Each row is ``{metric, count_a, total_a, count_b, total_b, rate_a,
-    rate_b, z, flagged}``.  Outcome rates are always compared;
-    first-divergence stage rates are compared when both campaigns carry
-    probe data.
+    rate_b, z, flagged}``.  Outcome rates are always compared —
+    stratified records contribute reweighted effective counts (see
+    :func:`_effective_outcome_counts`), so stratified and uniform
+    campaigns diff cleanly against each other; first-divergence stage
+    rates are compared when both campaigns carry probe data.
     """
     rows = []
 
@@ -346,16 +452,14 @@ def diff_records(record_a: dict, record_b: dict) -> dict:
             }
         )
 
-    counts_a = record_a["counts"]
-    counts_b = record_b["counts"]
-    total_a = int(counts_a["total"])
-    total_b = int(counts_b["total"])
-    for outcome, fields in OUTCOME_FIELDS:
+    effective_a, total_a = _effective_outcome_counts(record_a)
+    effective_b, total_b = _effective_outcome_counts(record_b)
+    for outcome, _fields in OUTCOME_FIELDS:
         add_row(
             f"outcome:{outcome}",
-            _outcome_count(counts_a, fields),
+            effective_a[outcome],
             total_a,
-            _outcome_count(counts_b, fields),
+            effective_b[outcome],
             total_b,
         )
 

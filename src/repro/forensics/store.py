@@ -107,7 +107,7 @@ def build_record(
                 }
             )
 
-    return {
+    record = {
         "schema": STORE_SCHEMA_VERSION,
         "label": label,
         "fingerprint": config_fingerprint(campaign.config),
@@ -119,6 +119,12 @@ def build_record(
         "divergence": summarize_divergence(campaign.results),
         "sdc_quality": sdc_quality,
     }
+    # Only stratified campaigns carry a sampling block, so uniform
+    # records keep exactly their previous shape — and therefore their
+    # previous content-addressed ids.
+    if campaign.sampling is not None:
+        record["sampling"] = campaign.sampling.to_dict()
+    return record
 
 
 class CampaignStore:

@@ -12,6 +12,10 @@ Usage::
     python -m tests.faultinject._resume_worker run      JOURNAL OUT [delay_s]
     python -m tests.faultinject._resume_worker resume   JOURNAL OUT
     python -m tests.faultinject._resume_worker reference JOURNAL_IGNORED OUT
+
+The ``strat-run`` / ``strat-resume`` / ``strat-reference`` modes run
+the same protocol with an adaptive stratified campaign (schema-v3
+round-granularity journal) instead of a uniform chunked one.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ SEED = 5
 
 
 def _campaign_json(campaign) -> dict:
-    return {
+    payload = {
         "counts": {
             "masked": campaign.counts.masked,
             "sdc": campaign.counts.sdc,
@@ -44,6 +48,27 @@ def _campaign_json(campaign) -> dict:
         "outcomes": [result.outcome.value for result in campaign.results],
         "cycles": [result.cycles for result in campaign.results],
     }
+    if campaign.sampling is not None:
+        payload["sampling"] = campaign.sampling.to_dict()
+    return payload
+
+
+def _config(stratified: bool) -> CampaignConfig:
+    if stratified:
+        # Coarse enough to converge in a handful of rounds on the toy
+        # workload, with a hard budget so the helper can never run away.
+        return CampaignConfig(
+            n_injections=1,
+            kind=RegKind.GPR,
+            seed=SEED,
+            workers=1,
+            sampling="stratified",
+            ci_width=0.3,
+            round_size=4,
+            strata=(2, 2, 2),
+            max_injections=400,
+        )
+    return CampaignConfig(n_injections=N_INJECTIONS, kind=RegKind.GPR, seed=SEED, workers=1)
 
 
 def main(argv: list[str]) -> int:
@@ -58,14 +83,16 @@ def main(argv: list[str]) -> int:
             time.sleep(delay_s)
         return toy_workload(ctx)
 
-    config = CampaignConfig(n_injections=N_INJECTIONS, kind=RegKind.GPR, seed=SEED, workers=1)
+    stratified = mode.startswith("strat-")
+    action = mode.removeprefix("strat-")
+    config = _config(stratified)
     campaign = run_campaign(
         workload,
         golden,
         golden_cycles,
         config,
-        journal_path=None if mode == "reference" else journal,
-        resume=mode == "resume",
+        journal_path=None if action == "reference" else journal,
+        resume=action == "resume",
     )
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(_campaign_json(campaign), handle)

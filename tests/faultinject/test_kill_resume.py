@@ -37,18 +37,22 @@ def _run_helper(mode: str, journal: Path, out: Path, *extra: str, wait: bool = T
     return process
 
 
-def _journaled_chunks(journal: Path) -> int:
+def _journaled_records(journal: Path, record_type: str) -> int:
     if not journal.exists():
         return 0
-    # Count complete chunk lines only (ignore the header and any tail).
+    # Count complete records of one type only (ignore header and tail).
     count = 0
     for line in journal.read_bytes().split(b"\n")[:-1]:
         try:
-            if json.loads(line).get("type") == "chunk":
+            if json.loads(line).get("type") == record_type:
                 count += 1
         except json.JSONDecodeError:
             pass
     return count
+
+
+def _journaled_chunks(journal: Path) -> int:
+    return _journaled_records(journal, "chunk")
 
 
 def test_sigkill_mid_campaign_then_resume_is_bit_identical(tmp_path):
@@ -78,4 +82,38 @@ def test_sigkill_mid_campaign_then_resume_is_bit_identical(tmp_path):
 
     resumed = json.loads(resumed_out.read_text())
     reference = json.loads(reference_out.read_text())
+    assert resumed == reference
+
+
+def test_sigkill_mid_stratified_campaign_then_resume_is_bit_identical(tmp_path):
+    """The same SIGKILL protocol against the round-granularity journal.
+
+    A stratified campaign's round ``k`` draws depend on the statistics
+    of rounds ``< k``, so resuming from the fsync'd round prefix must
+    reproduce the uninterrupted campaign exactly — outcome sequence,
+    per-cell statistics and the full sampling summary included.
+    """
+    journal = tmp_path / "stratified.jsonl"
+    killed_out = tmp_path / "killed.json"
+    resumed_out = tmp_path / "resumed.json"
+    reference_out = tmp_path / "reference.json"
+
+    process = _run_helper("strat-run", journal, killed_out, "0.03", wait=False)
+    deadline = time.monotonic() + 60
+    while _journaled_records(journal, "round") < 1:
+        assert process.poll() is None, "campaign finished before it could be killed"
+        assert time.monotonic() < deadline, "no round journaled within 60s"
+        time.sleep(0.02)
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=30)
+    assert not killed_out.exists(), "SIGKILL'd run must not have finished"
+    assert _journaled_records(journal, "round") >= 1
+    assert _journaled_records(journal, "chunk") == 0, "v3 journal must use round records"
+
+    _run_helper("strat-resume", journal, resumed_out)
+    _run_helper("strat-reference", journal, reference_out)
+
+    resumed = json.loads(resumed_out.read_text())
+    reference = json.loads(reference_out.read_text())
+    assert resumed["sampling"]["mode"] == "stratified"
     assert resumed == reference

@@ -160,6 +160,17 @@ def test_campaign_perf_trajectory(tmp_path):
     finally:
         telemetry.disable()
 
+    # Same serial cell under full live observation — event bus, status
+    # snapshots (one atomic rewrite per event) and flight recorder — to
+    # track the observer tax.  The contract says observation only
+    # *watches*, so this must stay within the journal-style noise band.
+    from repro.observe.session import observe_campaign
+
+    with observe_campaign(tmp_path / "bench-status.json"):
+        observed_s, observed = _time_campaign(
+            stream, config, golden, scale.injections, workers=1, spec=None
+        )
+
     # Same cell with divergence probes on, to track the forensics tax:
     # one extra probed golden run plus per-stage checksumming on every
     # injected run.
@@ -257,6 +268,8 @@ def test_campaign_perf_trajectory(tmp_path):
     assert serial.running == traced.running
     assert serial.counts == journaled.counts
     assert serial.running == journaled.running
+    assert serial.counts == observed.counts
+    assert serial.running == observed.running
     assert serial.counts == probed.counts
     assert serial.running == probed.running
     assert serial.counts == full.counts
@@ -273,6 +286,15 @@ def test_campaign_perf_trajectory(tmp_path):
     # *injection* instead of per chunk still fails loudly.
     assert journaled_s <= serial_s * 1.5 + 0.25, (
         f"journal overhead out of noise band: journaled {journaled_s:.3f}s "
+        f"vs serial {serial_s:.3f}s"
+    )
+
+    # Observation rewrites one small JSON file per event (serial mode:
+    # one event per injection), so it costs a bounded constant per
+    # injection — the same noise band as the journal catches a
+    # regression that starts doing real work on the hot path.
+    assert observed_s <= serial_s * 1.5 + 0.25, (
+        f"observe overhead out of noise band: observed {observed_s:.3f}s "
         f"vs serial {serial_s:.3f}s"
     )
 
@@ -319,6 +341,7 @@ def test_campaign_perf_trajectory(tmp_path):
         "parallel_s": round(parallel_s, 3),
         "traced_s": round(traced_s, 3),
         "journaled_s": round(journaled_s, 3),
+        "observed_s": round(observed_s, 3),
         "probed_s": round(probed_s, 3),
         "full_s": round(full_s, 3),
         "fastforward_s": round(fastforward_s, 3),
@@ -326,6 +349,7 @@ def test_campaign_perf_trajectory(tmp_path):
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "trace_overhead": round(traced_s / serial_s - 1.0, 4) if serial_s else None,
         "journal_overhead": round(journaled_s / serial_s - 1.0, 4) if serial_s else None,
+        "observe_overhead": round(observed_s / serial_s - 1.0, 4) if serial_s else None,
         "probe_overhead": round(probed_s / serial_s - 1.0, 4) if serial_s else None,
         "fastforward_speedup": round(full_s / fastforward_s, 3) if fastforward_s else None,
         "fanout_speedup": round(full_s / fanout_s, 3) if fanout_s else None,
@@ -368,6 +392,7 @@ def test_campaign_perf_trajectory(tmp_path):
         f"serial {serial_s:.2f}s, parallel({workers}w) {parallel_s:.2f}s, "
         f"traced {traced_s:.2f}s (+{100 * entry['trace_overhead']:.1f}%), "
         f"journaled {journaled_s:.2f}s (+{100 * entry['journal_overhead']:.1f}%), "
+        f"observed {observed_s:.2f}s (+{100 * entry['observe_overhead']:.1f}%), "
         f"probed {probed_s:.2f}s (+{100 * entry['probe_overhead']:.1f}%), "
         f"fast-forward {fastforward_s:.2f}s vs full {full_s:.2f}s "
         f"({entry['fastforward_speedup']}x), "

@@ -37,6 +37,15 @@ Adaptive sampling (see ``docs/sampling.md``): ``campaign --sampling
 stratified --ci-width 0.02`` stratifies draws over (register-class x
 bit-octet x resume-boundary) cells and stops each cell once its Wilson
 CI converges, reporting raw and Horvitz-Thompson reweighted rates.
+
+Live observability (see ``docs/observability.md``): ``campaign
+--status PATH`` maintains a crash-safe JSON status snapshot (also via
+``REPRO_STATUS=PATH``), ``--serve [PORT]`` adds ``/status`` and
+Prometheus ``/metrics`` HTTP endpoints, a flight recorder dumps the
+recent event ring on interrupts/hangs, and ``repro watch status.json``
+tails a snapshot live.  ``repro report trend <store>`` renders outcome
+and performance trajectories across stored campaigns (exit 4 when the
+z-gate flags a shift between adjacent campaigns).
 """
 
 from __future__ import annotations
@@ -159,11 +168,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     from repro.faultinject.journal import CampaignInterrupted
     from repro.faultinject.watchdog import WatchdogPolicy
+    from repro.observe.session import observe_campaign, resolve_status_path
 
     # Resolve the worker count before the (expensive) golden run, so a
     # malformed REPRO_WORKERS fails fast with a clear error.
     workers = args.workers if args.workers else default_workers()
+    # Likewise a malformed --heartbeat-interval / REPRO_HEARTBEAT_INTERVAL.
+    telemetry.resolve_heartbeat_interval(args.heartbeat_interval)
     journal_path = args.resume if args.resume is not None else args.journal
+    status_path = resolve_status_path(
+        str(args.status) if args.status is not None else None
+    )
+    observing = status_path is not None or args.serve is not None
     with _maybe_traced(args):
         stream = make_input(args.input, n_frames=args.frames)
         config = config_for(args.algorithm)
@@ -180,36 +196,59 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             else None
         )
         kind = RegKind.GPR if args.kind.lower() == "gpr" else RegKind.FPR
-        try:
-            campaign = run_campaign(
-                workload,
-                golden.output,
-                golden.total_cycles,
-                CampaignConfig(
-                    n_injections=args.n,
-                    kind=kind,
-                    seed=args.seed,
-                    # Stored records score SDC quality, which needs the
-                    # corrupted outputs kept until build_record runs.
-                    keep_sdc_outputs=args.store is not None,
-                    workers=workers,
-                    watchdog=watchdog,
-                    probe=args.probe,
-                    fast_forward=args.fast_forward,
-                    boundary_batch=args.boundary_batch,
-                    sampling=args.sampling,
-                    ci_width=args.ci_width,
-                    round_size=args.round_size,
-                    max_injections=args.max_injections,
-                    strata=args.strata,
-                ),
-                spec=VSWorkloadSpec.for_stream(stream, config),
-                journal_path=journal_path,
-                resume=args.resume is not None,
+        campaign_config = CampaignConfig(
+            n_injections=args.n,
+            kind=kind,
+            seed=args.seed,
+            # Stored records score SDC quality, which needs the
+            # corrupted outputs kept until build_record runs.
+            keep_sdc_outputs=args.store is not None,
+            workers=workers,
+            watchdog=watchdog,
+            probe=args.probe,
+            fast_forward=args.fast_forward,
+            boundary_batch=args.boundary_batch,
+            sampling=args.sampling,
+            ci_width=args.ci_width,
+            round_size=args.round_size,
+            max_injections=args.max_injections,
+            strata=args.strata,
+            heartbeat_interval=args.heartbeat_interval,
+            quiet=args.quiet,
+        )
+        observe_cm = (
+            observe_campaign(
+                status_path,
+                serve=args.serve is not None,
+                serve_port=args.serve or 0,
+                flight_path=args.flight_recorder,
             )
+            if observing
+            else contextlib.nullcontext()
+        )
+        try:
+            with observe_cm as session:
+                if session is not None and session.server is not None:
+                    print(f"observatory serving at {session.server.url}")
+                campaign = run_campaign(
+                    workload,
+                    golden.output,
+                    golden.total_cycles,
+                    campaign_config,
+                    spec=VSWorkloadSpec.for_stream(stream, config),
+                    journal_path=journal_path,
+                    resume=args.resume is not None,
+                )
         except CampaignInterrupted as interrupted:
             print(f"campaign interrupted: {interrupted}")
+            if observing and session is not None and session.flight_dumped is not None:
+                print(f"flight-recorder dump at {session.flight_dumped}")
             return 3
+        if observing and session is not None:
+            if status_path is not None:
+                print(f"status snapshot at {status_path}")
+            if session.flight_dumped is not None:
+                print(f"flight-recorder dump at {session.flight_dumped}")
         counts = campaign.counts
         n_done = counts.total if campaign.sampling is not None else args.n
         print(
@@ -328,6 +367,45 @@ def cmd_trace(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown trace action {args.trace_action!r}")
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a live campaign status snapshot (see ``campaign --status``)."""
+    import json
+    import time
+
+    from repro.observe.status import read_status, render_status
+
+    last_rendered = None
+    deadline = (
+        time.monotonic() + args.timeout if args.timeout is not None else None
+    )
+    while True:
+        try:
+            payload = read_status(args.path)
+        except FileNotFoundError:
+            payload = None
+        except json.JSONDecodeError:
+            # Unreachable with the atomic writer, but a foreign file
+            # should surface as a wait, not a stack trace.
+            payload = None
+        if payload is not None:
+            rendered = render_status(payload)
+            if rendered != last_rendered:
+                print(rendered)
+                print()
+                last_rendered = rendered
+            if payload.get("state") in ("finished", "interrupted"):
+                return 0
+        elif args.once:
+            print(f"no status snapshot at {args.path}")
+            return 1
+        if args.once:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"watch timed out after {args.timeout:g}s")
+            return 1
+        time.sleep(args.interval)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render reports and regression diffs over stored campaigns."""
     from repro.forensics.report import diff_records, render_diff, render_report
@@ -364,6 +442,17 @@ def cmd_report(args: argparse.Namespace) -> int:
         else:
             print(text, end="")
         return 4 if diff["flagged"] else 0
+    if args.report_action == "trend":
+        from repro.observe.trend import build_trend, render_trend
+
+        trend = build_trend(store, bench_path=args.bench)
+        text = render_trend(trend, fmt=args.format)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"trend dashboard written to {args.out}")
+        else:
+            print(text, end="")
+        return 4 if trend["flagged"] else 0
     raise AssertionError(f"unknown report action {args.report_action!r}")
 
 
@@ -531,6 +620,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="free-form label stored with the campaign record",
     )
     p_camp.add_argument("--out", type=Path, default=None, help="JSON record path")
+    p_camp.add_argument(
+        "--status",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="maintain a crash-safe live status snapshot (atomic JSON "
+        "rewritten on every campaign event; also via REPRO_STATUS=PATH); "
+        "tail it with `repro watch PATH`",
+    )
+    p_camp.add_argument(
+        "--serve",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="serve /status (JSON) and /metrics (Prometheus text) over "
+        "HTTP on 127.0.0.1 while the campaign runs (PORT 0 or omitted = "
+        "an ephemeral port, printed at startup)",
+    )
+    p_camp.add_argument(
+        "--flight-recorder",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="where to dump the flight-recorder event ring on interrupt/"
+        "hang/worker failure (default: next to --status as "
+        "*.flightrec.jsonl)",
+    )
+    p_camp.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds between heartbeat progress lines (default: "
+        "REPRO_HEARTBEAT_INTERVAL or 2.0)",
+    )
+    p_camp.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress heartbeat/annotation lines on stderr (progress "
+        "still flows to --status / --serve subscribers)",
+    )
     _add_trace_argument(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
@@ -597,6 +729,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep_diff.add_argument("id_b", help="comparison campaign id")
     _add_report_io(p_rep_diff)
     p_rep_diff.set_defaults(func=cmd_report)
+
+    p_rep_trend = report_sub.add_parser(
+        "trend",
+        help="outcome-rate and performance trajectories across stored "
+        "campaigns (exit 4 when adjacent campaigns flag a z-test shift)",
+    )
+    p_rep_trend.add_argument("store", type=Path, help="result store directory")
+    p_rep_trend.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="BENCH_campaign.json perf trajectory to chart alongside",
+    )
+    _add_report_io(p_rep_trend)
+    p_rep_trend.set_defaults(func=cmd_report)
+
+    p_watch = subparsers.add_parser(
+        "watch", help="tail a live campaign status snapshot"
+    )
+    p_watch.add_argument("path", type=Path, help="status JSON file (campaign --status)")
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between polls (default 1.0)",
+    )
+    p_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current snapshot once and exit",
+    )
+    p_watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up after S seconds if the campaign never finishes",
+    )
+    p_watch.set_defaults(func=cmd_watch)
 
     p_prot = subparsers.add_parser("protect", help="plan selective protection")
     _add_input_arguments(p_prot)

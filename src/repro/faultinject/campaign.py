@@ -39,6 +39,7 @@ from repro.faultinject.parallel import (
 )
 from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, LivenessModel, RegKind
 from repro.faultinject.watchdog import WatchdogPolicy
+from repro.observe import events as observe_events
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.sampling import StratifiedSummary
@@ -123,6 +124,14 @@ class CampaignConfig:
     #: 32 and 64; cycle strata snap to the golden run's frame boundaries
     #: when a snapshot tape exists.
     strata: tuple[int, int, int] = (4, 8, 8)
+    #: Heartbeat cadence in seconds; ``None`` defers to the
+    #: ``REPRO_HEARTBEAT_INTERVAL`` environment variable (default 2.0).
+    #: Pure presentation — never part of the journal fingerprint.
+    heartbeat_interval: float | None = None
+    #: Suppress heartbeat/annotation lines on stderr.  Progress still
+    #: flows through the observe event bus when one is installed, so a
+    #: quiet campaign remains fully watchable via ``--status``.
+    quiet: bool = False
 
 
 @dataclass
@@ -360,9 +369,28 @@ def run_campaign(
                 config.workers, max_useful=min(len(plans), max(1, len(groups)))
             )
 
+    observe_events.emit(
+        "campaign_start",
+        mode="uniform",
+        kind=config.kind.value,
+        total=len(plans),
+        workers=workers,
+        seed=config.seed,
+        journaled=journal_path is not None,
+        resume=resume,
+        groups=len(groups) if groups is not None else None,
+    )
+    # The heartbeat exists whenever anyone is listening — telemetry for
+    # the stderr lines, or an observe bus for heartbeat events.  Without
+    # telemetry it stays quiet (no surprise stderr from --status alone).
     heartbeat = (
-        telemetry.Heartbeat(len(plans), label=f"campaign {config.kind.value}")
-        if telemetry.enabled()
+        telemetry.Heartbeat(
+            len(plans),
+            label=f"campaign {config.kind.value}",
+            interval_s=telemetry.resolve_heartbeat_interval(config.heartbeat_interval),
+            quiet=config.quiet or not telemetry.enabled(),
+        )
+        if telemetry.enabled() or observe_events.enabled()
         else None
     )
     progress = heartbeat.update if heartbeat is not None else None
@@ -386,12 +414,20 @@ def run_campaign(
         journal, bounds, journal_groups, done, partial = _prepare_journal(
             config, len(plans), workers, journal_path, resume, groups=groups
         )
-        if heartbeat is not None and resume:
+        if resume:
             n_chunks = len(bounds) if bounds is not None else len(journal_groups)
-            note = f"resumed {len(done)}/{n_chunks} journaled chunks"
-            if partial:
-                note += " (discarded one torn record)"
-            heartbeat.annotate(note)
+            observe_events.emit(
+                "journal_resume",
+                replayed=len(done),
+                units=n_chunks,
+                injections=sum(len(res) for res in done.values()),
+                discarded_partial=partial,
+            )
+            if heartbeat is not None:
+                note = f"resumed {len(done)}/{n_chunks} journaled chunks"
+                if partial:
+                    note += " (discarded one torn record)"
+                heartbeat.annotate(note)
         with telemetry.span("campaign.execute"), journal:
             results = execute_plans_parallel(
                 spec,
@@ -438,9 +474,28 @@ def run_campaign(
         with telemetry.span("campaign.execute"):
             for index, plan in enumerate(plans):
                 run_rng = np.random.default_rng((config.seed + 1) * 1_000_003 + index)
-                results.append(monitor.run_injected(plan, run_rng))
+                result = monitor.run_injected(plan, run_rng)
+                results.append(result)
+                if observe_events.enabled():
+                    observe_events.emit(
+                        "injection_done",
+                        index=index,
+                        done=index + 1,
+                        outcomes={result.outcome.value: 1},
+                    )
                 if progress is not None:
                     progress(index + 1)
 
     with telemetry.span("campaign.assemble"):
-        return assemble_campaign(config, results)
+        campaign = assemble_campaign(config, results)
+    observe_events.emit(
+        "campaign_finish",
+        total=campaign.counts.total,
+        outcomes={
+            "mask": campaign.counts.masked,
+            "sdc": campaign.counts.sdc,
+            "crash": campaign.counts.crash,
+            "hang": campaign.counts.hang,
+        },
+    )
+    return campaign

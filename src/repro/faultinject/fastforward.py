@@ -88,6 +88,7 @@ from repro.faultinject.registers import (
     RegisterFileState,
 )
 from repro.forensics import probes
+from repro.observe import events as observe_events
 from repro.runtime.context import Cell, CostProfile, ExecutionContext
 from repro.summarize.pipeline import (
     PipelineState,
@@ -555,6 +556,13 @@ class FastForward:
         probes.replay_prefix(self.tape.probe_events[snapshot.probe_count :])
         ctx.preload(self.tape.golden_cycles)
         telemetry.counter_inc("campaign.fanout.golden_tail")
+        # Parent-side only by construction: workers never carry a bus,
+        # so fan-out never duplicates golden-tail events.
+        observe_events.emit(
+            "golden_tail",
+            frame=snapshot.frame_index,
+            skipped_probe_events=len(self.tape.probe_events) - snapshot.probe_count,
+        )
         return self.tape.golden_output.copy()
 
     # -- application state ------------------------------------------------

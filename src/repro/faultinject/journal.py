@@ -49,6 +49,7 @@ from repro.faultinject.monitor import InjectionResult
 from repro.faultinject.outcomes import CrashKind, HangKind, Outcome
 from repro.faultinject.registers import FlipEffect, RegKind, Role
 from repro.forensics.divergence import DivergenceRecord
+from repro.observe import events as observe_events
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.campaign import CampaignConfig
@@ -369,6 +370,13 @@ class CampaignJournal:
             }
         )
         self.chunks_written += 1
+        observe_events.emit(
+            "journal_checkpoint",
+            unit="chunk",
+            index=chunk_index,
+            n_results=len(results),
+            written=self.chunks_written,
+        )
         if self._abort_after is not None and self.chunks_written >= self._abort_after:
             self.close()
             raise CampaignInterrupted(self.path, self.chunks_written)
@@ -393,6 +401,13 @@ class CampaignJournal:
             }
         )
         self.chunks_written += 1
+        observe_events.emit(
+            "journal_checkpoint",
+            unit="round",
+            index=round_index,
+            n_results=len(results),
+            written=self.chunks_written,
+        )
         if self._abort_after is not None and self.chunks_written >= self._abort_after:
             self.close()
             raise CampaignInterrupted(self.path, self.chunks_written)

@@ -48,6 +48,8 @@ import numpy as np
 from repro import telemetry
 from repro.faultinject.injector import InjectionPlan
 from repro.faultinject.monitor import FaultMonitor, InjectionResult, Workload
+from repro.faultinject.outcomes import HangKind
+from repro.observe import events as observe_events
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.campaign import CampaignConfig
@@ -472,10 +474,17 @@ class _ChunkCollector:
         journal: "CampaignJournal | None",
         progress: Callable[[int], None] | None,
         completed: dict[int, list[InjectionResult]],
+        unit: str = "chunk",
+        done_base: int = 0,
     ) -> None:
         self.tracer = tracer
         self.journal = journal
         self.progress = progress
+        self.unit = unit
+        # Injections secured before this collector existed (stratified
+        # rounds call the executor once per round): offsets the ``done``
+        # totals events report, never the progress callback.
+        self.done_base = done_base
         self.results_by_chunk: dict[int, list[InjectionResult]] = dict(completed)
         self.snapshots: dict[int, dict] = {}
 
@@ -495,6 +504,26 @@ class _ChunkCollector:
             # Durability first: only a journaled chunk counts as done.
             # May raise CampaignInterrupted (the abort-after test hook).
             self.journal.append_chunk(chunk_index, results)
+        if observe_events.enabled():
+            # Tallies are computed only when someone is listening, so
+            # the unobserved hot path stays one None check per chunk.
+            outcomes: dict[str, int] = {}
+            watchdog_hangs = 0
+            for result in results:
+                outcomes[result.outcome.value] = outcomes.get(result.outcome.value, 0) + 1
+                if result.hang_kind is HangKind.WATCHDOG:
+                    watchdog_hangs += 1
+            observe_events.emit(
+                f"{self.unit}_done",
+                index=chunk_index,
+                size=len(results),
+                done=self.done_base + self.injections_done,
+                outcomes=outcomes,
+            )
+            if watchdog_hangs:
+                observe_events.emit(
+                    "watchdog_hang", index=chunk_index, count=watchdog_hangs
+                )
         if self.progress is not None:
             self.progress(self.injections_done)
 
@@ -573,7 +602,14 @@ def execute_plans_parallel(
     watchdog = config.watchdog
     tracer = telemetry.get_tracer()
     chunk_fn = run_injection_chunk_metered if tracer is not None else run_injection_chunk
-    collector = _ChunkCollector(tracer, journal, progress, completed or {})
+    collector = _ChunkCollector(
+        tracer,
+        journal,
+        progress,
+        completed or {},
+        unit="group" if groups is not None else "chunk",
+        done_base=index_base,
+    )
     if collector.results_by_chunk and progress is not None:
         progress(collector.injections_done)
 
@@ -625,8 +661,18 @@ def execute_plans_parallel(
                 if isinstance(exc, TimeoutError)
                 else "worker process died"
             )
+            observe_events.emit(
+                "retry",
+                attempt=attempt,
+                cause=cause,
+                chunks_left=len(pending),
+                workers=pool_workers,
+            )
             if attempt > retry.max_retries:
                 telemetry.counter_inc("campaign.degraded")
+                observe_events.emit(
+                    "degrade", to_workers=1, serial_fallback=True, attempt=attempt
+                )
                 if annotate is not None:
                     annotate(
                         f"{cause}; retry budget exhausted after {attempt - 1} "
@@ -636,6 +682,12 @@ def execute_plans_parallel(
             if attempt >= retry.degrade_after and pool_workers > 1:
                 pool_workers = max(1, pool_workers // 2)
                 telemetry.counter_inc("campaign.degraded")
+                observe_events.emit(
+                    "degrade",
+                    to_workers=pool_workers,
+                    serial_fallback=False,
+                    attempt=attempt,
+                )
             if annotate is not None:
                 annotate(
                     f"{cause}; retry {attempt}/{retry.max_retries} "

@@ -52,6 +52,7 @@ from repro.faultinject.parallel import (
     resolve_workers,
 )
 from repro.faultinject.registers import NUM_REGISTERS, REGISTER_BITS, RegKind
+from repro.observe import events as observe_events
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.faultinject.campaign import CampaignConfig, CampaignResult
@@ -470,6 +471,7 @@ class _StratifiedState:
             stats.counts.add(result.outcome, result.crash_kind)
             stats.draws += 1
         self.results.extend(results)
+        newly_converged: list[int] = []
         for index, stats in enumerate(self.cells):
             if (
                 stats.converged_round is None
@@ -477,7 +479,50 @@ class _StratifiedState:
                 and cell_max_ci_width(stats.counts) <= self.config.ci_width
             ):
                 stats.converged_round = self.rounds_done
+                newly_converged.append(index)
         self.rounds_done += 1
+        if observe_events.enabled():
+            # Emitted from the one shared update path, so a journal
+            # replay reconstructs exactly the live run's round events.
+            self._emit_round(newly_converged)
+
+    def _emit_round(self, newly_converged: list[int]) -> None:
+        for cell_index in newly_converged:
+            stats = self.cells[cell_index]
+            observe_events.emit(
+                "stratum_converged",
+                cell=cell_index,
+                round=stats.converged_round,
+                draws=stats.draws,
+                ci_width=round(cell_max_ci_width(stats.counts), 6),
+            )
+        totals = {"mask": 0, "sdc": 0, "crash": 0, "hang": 0}
+        widths: list[float] = []
+        open_widths: list[float] = []
+        for stats in self.cells:
+            totals["mask"] += stats.counts.masked
+            totals["sdc"] += stats.counts.sdc
+            totals["crash"] += stats.counts.crash
+            totals["hang"] += stats.counts.hang
+            if stats.draws == 0:
+                continue
+            width = round(cell_max_ci_width(stats.counts), 6)
+            widths.append(width)
+            if stats.converged_round is None:
+                open_widths.append(width)
+        converged = sum(
+            1 for stats in self.cells if stats.converged_round is not None
+        )
+        observe_events.emit(
+            "round_done",
+            round=self.rounds_done - 1,
+            done=self.total_draws,
+            outcomes_total=totals,
+            cells_total=len(self.cells),
+            cells_converged=converged,
+            max_ci_width=max(open_widths) if open_widths else 0.0,
+            cell_ci_widths=widths,
+        )
 
     def plan_round(self) -> list[InjectionPlan]:
         """Draw the next round's plans for every unresolved cell.
@@ -637,9 +682,26 @@ def run_stratified_campaign(
         and hasattr(spec, "build_fast_forward")
     )
 
+    observe_events.emit(
+        "campaign_start",
+        mode="stratified",
+        kind=config.kind.value,
+        total=None,
+        workers=config.workers,
+        seed=config.seed,
+        journaled=journal_path is not None,
+        resume=resume,
+        cells=len(stratification.cells),
+        ci_width=config.ci_width,
+    )
     heartbeat = (
-        telemetry.Heartbeat(0, label=f"campaign {config.kind.value} (stratified)")
-        if telemetry.enabled()
+        telemetry.Heartbeat(
+            0,
+            label=f"campaign {config.kind.value} (stratified)",
+            interval_s=telemetry.resolve_heartbeat_interval(config.heartbeat_interval),
+            quiet=config.quiet or not telemetry.enabled(),
+        )
+        if telemetry.enabled() or observe_events.enabled()
         else None
     )
     annotate = heartbeat.annotate if heartbeat is not None else None
@@ -657,11 +719,19 @@ def run_stratified_campaign(
         )
         for round_results in replayed:
             state.absorb_round(round_results)
-        if annotate is not None and resume:
-            note = f"resumed {len(replayed)} journaled round(s)"
-            if partial:
-                note += " (discarded one torn record)"
-            annotate(note)
+        if resume:
+            observe_events.emit(
+                "journal_resume",
+                replayed=len(replayed),
+                units=None,
+                injections=state.total_draws,
+                discarded_partial=partial,
+            )
+            if annotate is not None:
+                note = f"resumed {len(replayed)} journaled round(s)"
+                if partial:
+                    note += " (discarded one torn record)"
+                annotate(note)
 
     try:
         with telemetry.span("campaign.execute"):
@@ -720,4 +790,16 @@ def run_stratified_campaign(
     with telemetry.span("campaign.assemble"):
         campaign = assemble_campaign(config, state.results)
     campaign.sampling = summary
+    observe_events.emit(
+        "campaign_finish",
+        total=campaign.counts.total,
+        outcomes={
+            "mask": campaign.counts.masked,
+            "sdc": campaign.counts.sdc,
+            "crash": campaign.counts.crash,
+            "hang": campaign.counts.hang,
+        },
+        rounds=summary.rounds,
+        cells_converged=summary.cells_converged,
+    )
     return campaign

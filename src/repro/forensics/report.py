@@ -366,12 +366,22 @@ _RENDERERS = {
 }
 
 
-def render_report(record: dict, fmt: str = "terminal", cid: str | None = None) -> str:
-    """Render one stored campaign record; byte-deterministic per input."""
+def render_sections(title: str, sections: list[Section], fmt: str = "terminal") -> str:
+    """Render arbitrary sections through the shared renderer set.
+
+    The public entry point for other report producers (the trend
+    dashboard) so every artifact carries the same table styling and the
+    same byte-determinism guarantees.
+    """
     if fmt not in _RENDERERS:
         raise ValueError(f"unknown report format {fmt!r} (choose from {REPORT_FORMATS})")
+    return _RENDERERS[fmt](title, sections)
+
+
+def render_report(record: dict, fmt: str = "terminal", cid: str | None = None) -> str:
+    """Render one stored campaign record; byte-deterministic per input."""
     title = f"Campaign report {cid}" if cid else "Campaign report"
-    return _RENDERERS[fmt](title, build_sections(record))
+    return render_sections(title, build_sections(record), fmt)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""Cross-campaign trend dashboard: outcome rates and perf over history.
+
+``repro report trend`` walks the forensics store in insertion order,
+renders each campaign's outcome rates (Wilson CIs, unicode sparklines)
+as a trajectory, gates **adjacent** campaigns through the same pooled
+two-proportion z-test as ``repro report diff``, and — when a
+``BENCH_campaign.json`` perf trajectory is present — adds the timing
+history alongside.  The output reuses the forensics report renderers,
+so the HTML artifact is byte-deterministic for a given store + bench
+file, and the z-gate exit code makes the dashboard double as a CI
+regression tripwire.
+
+This module imports the forensics/report stack and must therefore never
+be imported from ``repro.observe.__init__`` (the event-bus side stays
+stdlib-only); consumers import ``repro.observe.trend`` explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.faultinject.outcomes import wilson_interval
+from repro.forensics.report import (
+    OUTCOME_FIELDS,
+    Z_THRESHOLD,
+    Section,
+    _effective_outcome_counts,
+    render_sections,
+    two_proportion_z,
+)
+from repro.forensics.store import CampaignStore
+
+#: Eight-level block ramp for deterministic text sparklines.
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], ceiling: float | None = None) -> str:
+    """Map ``values`` onto block characters; deterministic, no deps.
+
+    ``ceiling`` pins the scale (rates use 1.0 is wasteful — the default
+    scales to the series maximum so small movements stay visible).
+    """
+    if not values:
+        return ""
+    top = ceiling if ceiling is not None else max(values)
+    if top <= 0:
+        return SPARK_BLOCKS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int(round((value / top) * (len(SPARK_BLOCKS) - 1)))
+        chars.append(SPARK_BLOCKS[max(0, min(level, len(SPARK_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def build_trend(
+    store: CampaignStore, bench_path: Path | str | None = None
+) -> dict:
+    """Fold store + bench history into one trend payload.
+
+    Returns ``{campaigns, outcomes, gates, flagged, bench}`` where
+    ``gates`` holds one z-test row per adjacent campaign pair and
+    outcome, and ``flagged`` lists the significant ones.
+    """
+    ids = store.ids()
+    campaigns = []
+    for cid in ids:
+        record = store.get(cid)
+        effective, total = _effective_outcome_counts(record)
+        rates = {}
+        for outcome, _fields in OUTCOME_FIELDS:
+            count = effective[outcome]
+            low, high = wilson_interval(count, total)
+            rates[outcome] = {
+                "count": count,
+                "rate": count / total if total else 0.0,
+                "ci_low": low,
+                "ci_high": high,
+            }
+        campaigns.append(
+            {
+                "id": cid,
+                "label": record.get("label"),
+                "kind": record["fingerprint"]["kind"],
+                "stratified": bool(record.get("sampling")),
+                "total": total,
+                "rates": rates,
+            }
+        )
+
+    gates = []
+    for prev, curr in zip(campaigns, campaigns[1:]):
+        for outcome, _fields in OUTCOME_FIELDS:
+            a, b = prev["rates"][outcome], curr["rates"][outcome]
+            z = two_proportion_z(
+                b["count"], curr["total"], a["count"], prev["total"]
+            )
+            gates.append(
+                {
+                    "pair": f"{prev['id']}->{curr['id']}",
+                    "metric": f"outcome:{outcome}",
+                    "rate_a": a["rate"],
+                    "rate_b": b["rate"],
+                    "z": z,
+                    "flagged": abs(z) > Z_THRESHOLD,
+                }
+            )
+
+    bench_entries = []
+    if bench_path is not None:
+        bench_path = Path(bench_path)
+        if bench_path.exists():
+            bench_entries = json.loads(bench_path.read_text())
+
+    return {
+        "campaigns": campaigns,
+        "gates": gates,
+        "flagged": [
+            f"{gate['pair']} {gate['metric']}" for gate in gates if gate["flagged"]
+        ],
+        "bench": bench_entries,
+        "threshold": Z_THRESHOLD,
+    }
+
+
+#: Bench timing fields charted in the perf trajectory, in column order.
+BENCH_TIMING_FIELDS = (
+    "serial_s",
+    "parallel_s",
+    "traced_s",
+    "journaled_s",
+    "probed_s",
+    "observed_s",
+    "fastforward_s",
+    "fanout_s",
+)
+
+
+def _trend_sections(trend: dict) -> list[Section]:
+    campaigns = trend["campaigns"]
+
+    history = Section(
+        "Campaign history (store insertion order)",
+        headers=["#", "id", "label", "kind", "mode", "classified",
+                 *[outcome for outcome, _f in OUTCOME_FIELDS]],
+    )
+    for index, campaign in enumerate(campaigns):
+        history.rows.append(
+            [
+                index,
+                campaign["id"],
+                campaign["label"] or "-",
+                campaign["kind"],
+                "stratified" if campaign["stratified"] else "uniform",
+                campaign["total"],
+                *[
+                    f"{campaign['rates'][outcome]['rate']:.4f}"
+                    for outcome, _f in OUTCOME_FIELDS
+                ],
+            ]
+        )
+    if not campaigns:
+        history.notes.append("store is empty — run campaigns with --store first")
+
+    trajectory = Section(
+        "Outcome-rate trajectories (Wilson 95% CI of the latest campaign)",
+        headers=["outcome", "trend", "latest_rate", "ci_low", "ci_high"],
+    )
+    for outcome, _fields in OUTCOME_FIELDS:
+        series = [campaign["rates"][outcome]["rate"] for campaign in campaigns]
+        latest = campaigns[-1]["rates"][outcome] if campaigns else None
+        trajectory.rows.append(
+            [
+                outcome,
+                sparkline(series),
+                f"{latest['rate']:.4f}" if latest else "-",
+                f"{latest['ci_low']:.4f}" if latest else "-",
+                f"{latest['ci_high']:.4f}" if latest else "-",
+            ]
+        )
+
+    gate = Section(
+        f"Adjacent-campaign z-gate (|z| > {trend['threshold']:g} flagged)",
+        headers=["pair", "metric", "rate_a", "rate_b", "delta", "z", "flag"],
+    )
+    for row in trend["gates"]:
+        gate.rows.append(
+            [
+                row["pair"],
+                row["metric"],
+                f"{row['rate_a']:.4f}",
+                f"{row['rate_b']:.4f}",
+                f"{row['rate_b'] - row['rate_a']:+.4f}",
+                f"{row['z']:+.2f}",
+                "SHIFT" if row["flagged"] else "",
+            ]
+        )
+    if trend["flagged"]:
+        gate.notes.append(
+            f"{len(trend['flagged'])} significant shift(s): "
+            + ", ".join(trend["flagged"])
+        )
+    elif trend["gates"]:
+        gate.notes.append("no statistically significant shifts between neighbours")
+    else:
+        gate.notes.append("need at least 2 stored campaigns to gate")
+
+    sections = [history, trajectory, gate]
+
+    bench = trend.get("bench") or []
+    if bench:
+        perf = Section(
+            "Performance trajectory (BENCH_campaign.json)",
+            headers=["#", "timestamp", "scale", "workers", *BENCH_TIMING_FIELDS],
+        )
+        for index, entry in enumerate(bench):
+            perf.rows.append(
+                [
+                    index,
+                    entry.get("timestamp", "-"),
+                    entry.get("scale", "-"),
+                    entry.get("workers", "-"),
+                    *[
+                        f"{entry[field_name]:.3f}" if field_name in entry else "-"
+                        for field_name in BENCH_TIMING_FIELDS
+                    ],
+                ]
+            )
+        spark = Section(
+            "Timing sparklines (scaled per stage)",
+            headers=["stage", "trend", "latest_s"],
+        )
+        for field_name in BENCH_TIMING_FIELDS:
+            series = [
+                float(entry[field_name]) for entry in bench if field_name in entry
+            ]
+            if not series:
+                continue
+            spark.rows.append([field_name, sparkline(series), f"{series[-1]:.3f}"])
+        sections.extend([perf, spark])
+
+    return sections
+
+
+def render_trend(trend: dict, fmt: str = "terminal") -> str:
+    """Render one trend payload; byte-deterministic per input."""
+    return render_sections("Campaign trend dashboard", _trend_sections(trend), fmt)

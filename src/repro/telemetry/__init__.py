@@ -23,7 +23,11 @@ bit-identical to untraced runs at any worker count (see
 """
 
 from repro.telemetry.metrics import MetricsRegistry
-from repro.telemetry.progress import Heartbeat
+from repro.telemetry.progress import (
+    HEARTBEAT_INTERVAL_ENV,
+    Heartbeat,
+    resolve_heartbeat_interval,
+)
 from repro.telemetry.tracing import (
     DEFAULT_MAX_EVENTS,
     TRACE_ENV,
@@ -44,6 +48,8 @@ from repro.telemetry.tracing import (
 __all__ = [
     "MetricsRegistry",
     "Heartbeat",
+    "HEARTBEAT_INTERVAL_ENV",
+    "resolve_heartbeat_interval",
     "Tracer",
     "TRACE_ENV",
     "DEFAULT_MAX_EVENTS",

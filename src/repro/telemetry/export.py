@@ -82,6 +82,9 @@ class TraceSummary:
     counters: dict[str, int] = field(default_factory=dict)
     total_events: int = 0
     dropped_events: int = 0
+    #: The Tracer's ``max_events`` cap when truncation happened (the
+    #: ``trace.event_cap`` gauge, set on the first dropped event).
+    event_cap: int | None = None
 
     def ordered(self) -> list[StageStat]:
         """Stages sorted by descending total wall time."""
@@ -112,6 +115,9 @@ def summarize_trace(path: str | os.PathLike) -> TraceSummary:
             metrics = record
     summary.counters = dict(metrics.get("counters", {}))
     summary.dropped_events = summary.counters.get("trace.dropped_events", 0)
+    cap = metrics.get("gauges", {}).get("trace.event_cap")
+    if cap is not None:
+        summary.event_cap = int(cap)
     for name, stat in metrics.get("timers", {}).items():
         if not name.startswith("span."):
             continue
@@ -168,6 +174,18 @@ def render_summary(summary: TraceSummary) -> str:
         f"{summary.total_events} span event(s)"
         + (f", {summary.dropped_events} dropped" if summary.dropped_events else "")
     )
+    if summary.dropped_events:
+        cap = (
+            f"its {summary.event_cap}-event cap"
+            if summary.event_cap is not None
+            else "its event cap"
+        )
+        lines.append(
+            f"WARNING: trace buffer truncated — {summary.dropped_events} span "
+            f"event(s) dropped after the tracer hit {cap}; stage totals above "
+            f"remain exact (registry timers), but the span list is incomplete. "
+            f"Raise Tracer(max_events=...) to capture everything."
+        )
     fanout_lines = _render_fanout(summary)
     if fanout_lines:
         lines.append("")

@@ -6,15 +6,59 @@ clean), plus a final line when the campaign completes::
 
     [campaign gpr] 120/400 injections | 5.3 inj/s | ETA 53s | golden-cache 7/8 hits
 
-Heartbeats are created by the campaign engine only while telemetry is
-enabled, and only observe — they never touch campaign state.
+The cadence is configurable: ``--heartbeat-interval`` on the CLI or the
+``REPRO_HEARTBEAT_INTERVAL`` environment variable (validated the same
+way as ``REPRO_WORKERS`` — a bad value raises a ValueError naming its
+source).  ``quiet=True`` suppresses the stderr lines entirely while
+still publishing ``heartbeat``/``note`` events on the observe event bus
+(see :mod:`repro.observe.events`), so ``--quiet`` campaigns remain
+fully watchable through ``--status``.
+
+Heartbeats are created by the campaign engine only while telemetry or
+an observe bus is enabled, and only observe — they never touch campaign
+state.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import sys
 import time
 from typing import Callable, TextIO
+
+from repro.observe import events as observe_events
+
+#: Environment override for the heartbeat cadence (seconds).
+HEARTBEAT_INTERVAL_ENV = "REPRO_HEARTBEAT_INTERVAL"
+
+#: Cadence used when neither the CLI flag nor the env var is set.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+
+def _parse_interval(raw: object, source: str) -> float:
+    """Validate one cadence value, naming ``source`` in errors."""
+    try:
+        value = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a number of seconds, got {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"{source} must be a positive finite number of seconds, got {raw!r}"
+        )
+    return value
+
+
+def resolve_heartbeat_interval(requested: float | None = None) -> float:
+    """The heartbeat cadence: explicit value, else env var, else 2.0 s."""
+    if requested is not None:
+        return _parse_interval(requested, "heartbeat interval")
+    raw = os.environ.get(HEARTBEAT_INTERVAL_ENV)
+    if raw is None or raw == "":
+        return DEFAULT_HEARTBEAT_INTERVAL
+    return _parse_interval(raw, HEARTBEAT_INTERVAL_ENV)
 
 
 def _format_eta(seconds: float) -> str:
@@ -32,15 +76,17 @@ class Heartbeat:
         self,
         total: int,
         label: str = "campaign",
-        interval_s: float = 2.0,
+        interval_s: float = DEFAULT_HEARTBEAT_INTERVAL,
         stream: TextIO | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        quiet: bool = False,
     ) -> None:
         self.total = total
         self.label = label
-        self.interval_s = interval_s
+        self.interval_s = _parse_interval(interval_s, "heartbeat interval")
         self.stream = stream if stream is not None else sys.stderr
         self.clock = clock
+        self.quiet = quiet
         self.start = clock()
         self._last_emit = float("-inf")
         self.lines_emitted = 0
@@ -51,11 +97,14 @@ class Heartbeat:
 
         The note prints immediately on its own line — these events are
         rare and operators should see them when they happen — and is
-        appended to subsequent progress lines until replaced.
+        appended to subsequent progress lines until replaced.  It is
+        also published as a ``note`` event for bus subscribers.
         """
         self.note = note
-        print(f"[{self.label}] {note}", file=self.stream)
-        self.lines_emitted += 1
+        observe_events.emit("note", label=self.label, note=note)
+        if not self.quiet:
+            print(f"[{self.label}] {note}", file=self.stream)
+            self.lines_emitted += 1
 
     def _cache_suffix(self) -> str:
         from repro.summarize.golden import golden_cache_stats
@@ -67,7 +116,7 @@ class Heartbeat:
         return f" | golden-cache {stats.hits}/{lookups} hits"
 
     def update(self, done: int) -> None:
-        """Report ``done`` completed units; prints when due."""
+        """Report ``done`` completed units; prints/publishes when due."""
         now = self.clock()
         final = done >= self.total
         if not final and now - self._last_emit < self.interval_s:
@@ -77,8 +126,20 @@ class Heartbeat:
         rate = done / elapsed
         if final or rate <= 0:
             eta = "0s"
+            eta_s = 0.0
         else:
-            eta = _format_eta((self.total - done) / rate)
+            eta_s = (self.total - done) / rate
+            eta = _format_eta(eta_s)
+        observe_events.emit(
+            "heartbeat",
+            label=self.label,
+            done=done,
+            total=self.total,
+            rate=round(rate, 3),
+            eta_s=round(eta_s, 3),
+        )
+        if self.quiet:
+            return
         note_suffix = f" | {self.note}" if self.note else ""
         print(
             f"[{self.label}] {done}/{self.total} injections | "

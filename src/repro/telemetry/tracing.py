@@ -72,6 +72,10 @@ class Tracer:
         if len(self.events) < self.max_events:
             self.events.append(event)
         else:
+            if self.registry.counter("trace.dropped_events") == 0:
+                # First drop: record the cap so trace consumers can say
+                # exactly which limit truncated the buffer.
+                self.registry.set_gauge("trace.event_cap", float(self.max_events))
             self.registry.inc("trace.dropped_events")
 
     @property

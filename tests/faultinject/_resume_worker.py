@@ -16,16 +16,23 @@ Usage::
 The ``strat-run`` / ``strat-resume`` / ``strat-reference`` modes run
 the same protocol with an adaptive stratified campaign (schema-v3
 round-granularity journal) instead of a uniform chunked one.
+
+When the ``REPRO_STATUS`` environment variable names a path, the run is
+wrapped in ``observe_campaign`` exactly as the CLI would wrap it — the
+kill-resume test uses that to prove the status snapshot is crash-safe
+(always a complete, parseable JSON document, even around a SIGKILL).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sys
 import time
 
 from repro.faultinject.campaign import CampaignConfig, run_campaign
 from repro.faultinject.registers import RegKind
+from repro.observe.session import observe_campaign, resolve_status_path
 from tests.faultinject.test_parallel import ToyWorkloadSpec, toy_workload
 
 N_INJECTIONS = 24
@@ -86,14 +93,21 @@ def main(argv: list[str]) -> int:
     stratified = mode.startswith("strat-")
     action = mode.removeprefix("strat-")
     config = _config(stratified)
-    campaign = run_campaign(
-        workload,
-        golden,
-        golden_cycles,
-        config,
-        journal_path=None if action == "reference" else journal,
-        resume=action == "resume",
+    status_path = resolve_status_path(None)
+    observe_cm = (
+        observe_campaign(status_path)
+        if status_path is not None
+        else contextlib.nullcontext()
     )
+    with observe_cm:
+        campaign = run_campaign(
+            workload,
+            golden,
+            golden_cycles,
+            config,
+            journal_path=None if action == "reference" else journal,
+            resume=action == "resume",
+        )
     with open(out, "w", encoding="utf-8") as handle:
         json.dump(_campaign_json(campaign), handle)
     return 0

@@ -117,3 +117,89 @@ def test_sigkill_mid_stratified_campaign_then_resume_is_bit_identical(tmp_path):
     reference = json.loads(reference_out.read_text())
     assert resumed["sampling"]["mode"] == "stratified"
     assert resumed == reference
+
+
+def _assert_status_parses(status: Path) -> dict | None:
+    """Read the status snapshot; it must never be torn or partial.
+
+    Returns the parsed payload, or None when the file does not exist
+    yet.  Any JSONDecodeError is a real failure — the atomic
+    write-then-rename protocol promises readers a complete document at
+    every instant, including while the writer is being SIGKILL'd.
+    """
+    try:
+        raw = status.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    return json.loads(raw)
+
+
+def test_sigkill_leaves_status_snapshot_parseable_and_resume_finishes(tmp_path):
+    """Status crash safety under the same SIGKILL protocol.
+
+    The helper campaign runs with ``REPRO_STATUS`` set (the env one-flag
+    the CLI honours), and the parent polls the status file the whole
+    time: every single read must parse as complete JSON and pass the
+    schema gate.  After the kill, the file still parses; after a
+    resumed run, it reaches ``finished`` with the full outcome tally.
+    """
+    from repro.observe.session import STATUS_ENV
+    from repro.observe.status import validate_status
+
+    journal = tmp_path / "campaign.jsonl"
+    status = tmp_path / "status.json"
+    killed_out = tmp_path / "killed.json"
+    resumed_out = tmp_path / "resumed.json"
+    reference_out = tmp_path / "reference.json"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + str(REPO_ROOT)
+    env[STATUS_ENV] = str(status)
+    process = subprocess.Popen(
+        [sys.executable, *HELPER, "run", str(journal), str(killed_out), "0.05"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+    reads = 0
+    deadline = time.monotonic() + 60
+    while _journaled_chunks(journal) < 1:
+        assert process.poll() is None, "campaign finished before it could be killed"
+        assert time.monotonic() < deadline, "no chunk journaled within 60s"
+        payload = _assert_status_parses(status)
+        if payload is not None:
+            reads += 1
+            assert validate_status(payload) == []
+        time.sleep(0.02)
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=30)
+    assert not killed_out.exists(), "SIGKILL'd run must not have finished"
+    assert reads >= 1, "status file never appeared while the campaign ran"
+
+    # Post-mortem: the last atomically-replaced snapshot survived intact.
+    payload = _assert_status_parses(status)
+    assert payload is not None
+    assert validate_status(payload) == []
+    assert payload["state"] in ("starting", "running")
+
+    # Resume under observation: the snapshot must reach `finished` and
+    # the resumed result must still match the uninterrupted reference.
+    resume = subprocess.run(
+        [sys.executable, *HELPER, "resume", str(journal), str(resumed_out)],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        timeout=120,
+    )
+    assert resume.returncode == 0
+    payload = _assert_status_parses(status)
+    assert validate_status(payload) == []
+    assert payload["state"] == "finished"
+    assert payload["resume"] is not None
+    assert payload["progress"]["done"] == payload["progress"]["total"]
+
+    _run_helper("reference", journal, reference_out)
+    assert json.loads(resumed_out.read_text()) == json.loads(reference_out.read_text())

@@ -1,0 +1,15 @@
+"""Shared hygiene for observe tests: never leak a bus across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import events
+
+
+@pytest.fixture(autouse=True)
+def _no_bus_leak():
+    """The event bus is process-global state; every test starts clean."""
+    events.uninstall()
+    yield
+    events.uninstall()

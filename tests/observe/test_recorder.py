@@ -1,0 +1,80 @@
+"""Unit tests for the bounded flight recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe.events import EVENT_SCHEMA_VERSION, EventBus
+from repro.observe.recorder import (
+    DEFAULT_CAPACITY,
+    TRIGGER_KINDS,
+    FlightRecorder,
+    read_dump,
+)
+
+
+def _fill(recorder: FlightRecorder, n: int, kind: str = "note") -> EventBus:
+    bus = EventBus()
+    bus.subscribe(recorder)
+    for i in range(n):
+        bus.publish(kind, {"i": i})
+    return bus
+
+
+class TestRing:
+    def test_keeps_only_the_last_capacity_events(self):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 10)
+        assert recorder.events_seen == 10
+        assert len(recorder.ring) == 4
+        assert [event.payload["i"] for event in recorder.ring] == [6, 7, 8, 9]
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            FlightRecorder(capacity=0)
+
+    @pytest.mark.parametrize("kind", sorted(TRIGGER_KINDS))
+    def test_trigger_kinds_arm_the_dump(self, kind):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 2)
+        assert not recorder.triggered
+        _fill(recorder, 1, kind=kind)
+        assert recorder.triggered
+        assert recorder.trigger_kinds_seen == [kind]
+
+    def test_benign_kinds_never_trigger(self):
+        recorder = FlightRecorder(capacity=4)
+        _fill(recorder, 50, kind="chunk_done")
+        assert not recorder.triggered
+
+
+class TestDump:
+    def test_dump_read_round_trip(self, tmp_path):
+        recorder = FlightRecorder(capacity=3)
+        _fill(recorder, 5)
+        _fill(recorder, 1, kind="retry")
+        path = recorder.dump(tmp_path / "flight.jsonl")
+        header, events = read_dump(path)
+        assert header["flight_recorder"] == 1
+        assert header["event_schema"] == EVENT_SCHEMA_VERSION
+        assert header["capacity"] == 3
+        assert header["events_seen"] == 6
+        assert header["events_kept"] == 3
+        assert header["triggered"] is True
+        assert header["trigger_kinds"] == ["retry"]
+        assert [event["kind"] for event in events] == ["note", "note", "retry"]
+
+    def test_dump_is_atomic(self, tmp_path):
+        recorder = FlightRecorder(capacity=2)
+        _fill(recorder, 2)
+        recorder.dump(tmp_path / "flight.jsonl")
+        assert not (tmp_path / "flight.jsonl.tmp").exists()
+
+    def test_read_empty_dump_raises(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="is empty"):
+            read_dump(empty)

@@ -158,3 +158,49 @@ class TestCLISurfaces:
         assert "stage" in out
         assert "summarize.run_vs" in out
         assert "span event(s)" in out
+
+
+class TestTruncationWarning:
+    def _truncated_summary(self, tmp_path, max_events=2, spans=5):
+        tracer = Tracer(max_events=max_events)
+        for _ in range(spans):
+            with tracer.span("s"):
+                pass
+        return summarize_trace(write_trace(tmp_path / "t.jsonl", tracer))
+
+    def test_event_cap_recorded_with_drops(self, tmp_path):
+        summary = self._truncated_summary(tmp_path)
+        assert summary.dropped_events == 3
+        assert summary.event_cap == 2
+
+    def test_no_cap_gauge_without_drops(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        summary = summarize_trace(write_trace(tmp_path / "t.jsonl", tracer))
+        assert summary.dropped_events == 0
+        assert summary.event_cap is None
+
+    def test_render_shows_visible_warning(self, tmp_path):
+        out = render_summary(self._truncated_summary(tmp_path))
+        assert "3 dropped" in out
+        assert "WARNING: trace buffer truncated" in out
+        assert "its 2-event cap" in out
+        assert "Tracer(max_events=...)" in out
+
+    def test_render_stays_clean_without_drops(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        out = render_summary(summarize_trace(write_trace(tmp_path / "t.jsonl", tracer)))
+        assert "WARNING" not in out
+
+    def test_cli_summarize_prints_the_warning(self, tmp_path, capsys):
+        tracer = Tracer(max_events=1)
+        for _ in range(4):
+            with tracer.span("s"):
+                pass
+        path = write_trace(tmp_path / "t.jsonl", tracer)
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: trace buffer truncated" in out

@@ -92,3 +92,101 @@ class TestEtaFormatting:
         assert _format_eta(42.4) == "42s"
         assert _format_eta(90) == "1.5m"
         assert _format_eta(2.5 * 3600) == "2.5h"
+
+
+class TestIntervalResolution:
+    def test_explicit_value_wins(self, monkeypatch):
+        from repro.telemetry.progress import (
+            HEARTBEAT_INTERVAL_ENV,
+            resolve_heartbeat_interval,
+        )
+
+        monkeypatch.setenv(HEARTBEAT_INTERVAL_ENV, "9.0")
+        assert resolve_heartbeat_interval(0.5) == 0.5
+
+    def test_env_var_beats_default(self, monkeypatch):
+        from repro.telemetry.progress import (
+            DEFAULT_HEARTBEAT_INTERVAL,
+            HEARTBEAT_INTERVAL_ENV,
+            resolve_heartbeat_interval,
+        )
+
+        monkeypatch.delenv(HEARTBEAT_INTERVAL_ENV, raising=False)
+        assert resolve_heartbeat_interval() == DEFAULT_HEARTBEAT_INTERVAL
+        monkeypatch.setenv(HEARTBEAT_INTERVAL_ENV, "0.25")
+        assert resolve_heartbeat_interval() == 0.25
+        monkeypatch.setenv(HEARTBEAT_INTERVAL_ENV, "")
+        assert resolve_heartbeat_interval() == DEFAULT_HEARTBEAT_INTERVAL
+
+    def test_bad_env_value_names_its_source(self, monkeypatch):
+        import pytest
+
+        from repro.telemetry.progress import (
+            HEARTBEAT_INTERVAL_ENV,
+            resolve_heartbeat_interval,
+        )
+
+        monkeypatch.setenv(HEARTBEAT_INTERVAL_ENV, "soon")
+        with pytest.raises(ValueError, match=HEARTBEAT_INTERVAL_ENV):
+            resolve_heartbeat_interval()
+
+    def test_bad_flag_value_names_the_flag(self):
+        import pytest
+
+        from repro.telemetry.progress import resolve_heartbeat_interval
+
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="heartbeat interval"):
+                resolve_heartbeat_interval(bad)
+
+    def test_constructor_validates_interval(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="heartbeat interval"):
+            Heartbeat(10, interval_s=0.0)
+
+
+class TestQuietMode:
+    def _quiet_heartbeat(self, total: int):
+        clock = FakeClock()
+        stream = io.StringIO()
+        beat = Heartbeat(total, label="campaign gpr", interval_s=2.0,
+                         stream=stream, clock=clock, quiet=True)
+        return beat, clock, stream
+
+    def test_quiet_suppresses_lines_but_emits_events(self):
+        from repro.observe import events
+
+        bus = events.install()
+        seen = []
+        bus.subscribe(seen.append)
+        try:
+            beat, clock, stream = self._quiet_heartbeat(total=10)
+            clock.advance(1.0)
+            beat.update(5)
+            beat.annotate("resumed from journal")
+            beat.update(10)
+        finally:
+            events.uninstall()
+        assert stream.getvalue() == ""
+        assert beat.lines_emitted == 0
+        kinds = [event.kind for event in seen]
+        assert kinds == ["heartbeat", "note", "heartbeat"]
+        assert seen[0].payload["done"] == 5
+        assert seen[1].payload["note"] == "resumed from journal"
+
+    def test_loud_heartbeat_also_publishes_events(self):
+        from repro.observe import events
+
+        bus = events.install()
+        seen = []
+        bus.subscribe(seen.append)
+        try:
+            beat, clock, stream = _heartbeat(total=10)
+            clock.advance(1.0)
+            beat.update(5)
+        finally:
+            events.uninstall()
+        assert "5/10" in stream.getvalue()
+        assert [event.kind for event in seen] == ["heartbeat"]
+        assert seen[0].payload["total"] == 10

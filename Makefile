@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-campaign examples clean
+.PHONY: install test bench bench-medium bench-campaign bench-store examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,11 @@ bench-medium:
 # to BENCH_campaign.json. REPRO_BENCH_SCALE / REPRO_BENCH_WORKERS tune it.
 bench-campaign:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_campaign.py -q -s
+
+# Times store ingest and indexed-vs-scan slicing queries over a >=10k-row
+# synthetic corpus, appending to BENCH_store.json. REPRO_BENCH_STORE_* tune it.
+bench-store:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_store.py -q -s
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,149 @@
+"""Perf-tracking harness for the sharded, SQL-indexed result store.
+
+Builds a synthetic corpus of campaign records (≥10k injection rows at
+the default scale), times v2 store ingest, then answers the same
+slicing queries through the SQLite index and through the brute-force
+segment scan, asserting bit-identical results and recording the
+speedup.  Appends one machine-readable entry to ``BENCH_store.json`` at
+the repo root, so every PR leaves a perf trajectory future PRs can
+compare against.
+
+Run via ``make bench-store`` or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_store.py -q -s
+
+Knobs (environment):
+
+* ``REPRO_BENCH_STORE_RECORDS``    — synthetic campaigns (default 24).
+* ``REPRO_BENCH_STORE_INJECTIONS`` — injections per campaign (default 500).
+* ``REPRO_BENCH_STORE_QUERIES``    — timed repetitions per query (default 5).
+* ``REPRO_BENCH_OUT``              — output JSON path
+  (default ``BENCH_store.json``).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.forensics.query import StoreQuery, index_query, scan_query
+from repro.forensics.store import LAYOUT_V2, CampaignStore
+from repro.forensics.synth import synthesize_corpus
+
+from benchmarks.test_perf_campaign import append_entry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _n_records() -> int:
+    return max(2, int(os.environ.get("REPRO_BENCH_STORE_RECORDS", "24")))
+
+
+def _n_injections() -> int:
+    return max(10, int(os.environ.get("REPRO_BENCH_STORE_INJECTIONS", "500")))
+
+
+def _n_repeats() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_STORE_QUERIES", "5")))
+
+
+def _out_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OUT", REPO_ROOT / "BENCH_store.json"))
+
+
+#: The tracked slicing queries — the shapes the paper's figures need
+#: (outcome mix, stage attribution of SDCs, per-cell register/bit grid).
+TRACKED_QUERIES = {
+    "outcome_mix": StoreQuery(group_by=("outcome",)),
+    "sdc_by_stage": StoreQuery(
+        filters={"outcome": ("sdc",)}, group_by=("stage",)
+    ),
+    "cell_grid": StoreQuery(
+        filters={"outcome": ("sdc", "crash")},
+        group_by=("register_class", "bit_octet"),
+    ),
+    "crash_kind_by_kind": StoreQuery(
+        filters={"outcome": ("crash",)}, group_by=("kind", "crash_kind")
+    ),
+}
+
+
+def _time_engine(engine, store, query, repeats: int) -> tuple[float, dict]:
+    # Best-of-N wall time: the store is warm after the first pass, and
+    # best-of filters scheduler noise the same way timeit does.
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = engine(store, query)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_store_perf_trajectory(tmp_path):
+    """Time ingest and indexed-vs-scan queries over a synthetic corpus."""
+    n_records = _n_records()
+    n_injections = _n_injections()
+    repeats = _n_repeats()
+    corpus = synthesize_corpus(
+        n_records, seed=7000, n_injections=n_injections, stratified_every=6
+    )
+    total_rows = sum(len(record["injections"]) for record in corpus)
+
+    store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+    ingest_start = time.perf_counter()
+    for record in corpus:
+        store.put(record)
+    ingest_s = time.perf_counter() - ingest_start
+    assert len(store.ids()) == n_records
+
+    queries = {}
+    for name, query in TRACKED_QUERIES.items():
+        indexed_s, indexed = _time_engine(index_query, store, query, repeats)
+        scan_s, scanned = _time_engine(scan_query, store, query, repeats)
+        # The whole point: the index answers exactly the scan's question.
+        assert indexed == scanned, f"engines disagree on {name}"
+        queries[name] = {
+            "indexed_s": round(indexed_s, 6),
+            "scan_s": round(scan_s, 6),
+            "speedup": round(scan_s / indexed_s, 2) if indexed_s else None,
+            "rows": len(indexed["rows"]),
+            "population": indexed["total"],
+        }
+
+    # Indexed slicing must beat the brute scan overall — that is the
+    # index's reason to exist.  Gate on the aggregate, not per query,
+    # so one noisy timing on a loaded CI box cannot flake the harness.
+    total_indexed = sum(entry["indexed_s"] for entry in queries.values())
+    total_scan = sum(entry["scan_s"] for entry in queries.values())
+    assert total_indexed < total_scan, (
+        f"indexed queries ({total_indexed:.4f}s) did not beat the "
+        f"brute-force scan ({total_scan:.4f}s) over {total_rows} rows"
+    )
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "records": n_records,
+        "injections_per_record": n_injections,
+        "injection_rows": total_rows,
+        "segments": len(list(store.segments_dir.iterdir())),
+        "ingest_s": round(ingest_s, 3),
+        "ingest_rows_per_s": round(total_rows / ingest_s, 1) if ingest_s else None,
+        "query_repeats": repeats,
+        "queries": queries,
+        "scan_vs_index_speedup": round(total_scan / total_indexed, 2),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    append_entry(_out_path(), entry)
+    print(
+        f"\n[bench] store: {n_records} records / {total_rows} injection rows "
+        f"ingested in {ingest_s:.2f}s "
+        f"({entry['ingest_rows_per_s']:.0f} rows/s, {entry['segments']} segment(s)); "
+        f"indexed {total_indexed * 1000:.1f}ms vs scan {total_scan * 1000:.1f}ms "
+        f"({entry['scan_vs_index_speedup']}x) -> {_out_path()}"
+    )

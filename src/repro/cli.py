@@ -29,9 +29,16 @@ renders stored campaigns::
     python -m repro.cli report list runs/
     python -m repro.cli report show runs/ <id> --format html --out r.html
     python -m repro.cli report diff runs/ <id_a> <id_b>
+    python -m repro.cli report query runs/ --where outcome=sdc \
+        --group-by register_class,stage
 
 ``report diff`` exits 4 when a statistically significant outcome-rate
-shift is flagged, 0 when the campaigns are consistent.
+shift is flagged, 0 when the campaigns are consistent.  ``report
+query`` slices the whole corpus down to per-injection granularity
+through the store's SQLite index (see ``docs/store.md``); ``repro
+store migrate DIR`` converts a legacy single-log store to the sharded
+v2 layout (lossless, id-stable) and ``repro store rebuild DIR``
+re-derives the side index from the raw record segments.
 
 Adaptive sampling (see ``docs/sampling.md``): ``campaign --sampling
 stratified --ci-width 0.02`` stratifies draws over (register-class x
@@ -419,10 +426,11 @@ def cmd_report(args: argparse.Namespace) -> int:
             return 0
         for cid, summary in summaries.items():
             label = summary.get("label") or "-"
+            mode = summary.get("sampling", "uniform")
             print(
                 f"{cid}  {summary['kind']:3s} n={summary['n_injections']:<6d} "
                 f"seed={summary['seed']:<6d} sdc={summary['sdc']:<5d} "
-                f"probe={'y' if summary['probe'] else 'n'}  {label}"
+                f"probe={'y' if summary['probe'] else 'n'} {mode:10s}  {label}"
             )
         return 0
     if args.report_action == "show":
@@ -453,7 +461,58 @@ def cmd_report(args: argparse.Namespace) -> int:
         else:
             print(text, end="")
         return 4 if trend["flagged"] else 0
+    if args.report_action == "query":
+        from repro.forensics.query import (
+            QueryError,
+            StoreQuery,
+            query_sections,
+            run_query,
+        )
+        from repro.forensics.report import render_sections
+
+        try:
+            query = StoreQuery.from_options(where=args.where, group_by=args.group_by)
+        except QueryError as exc:
+            print(f"repro report query: {exc}", file=sys.stderr)
+            return 2
+        result = run_query(store, query)
+        text = render_sections(
+            f"Store query: {args.store}", query_sections(result), fmt=args.format
+        )
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"query result written to {args.out}")
+        else:
+            print(text, end="")
+        return 0
     raise AssertionError(f"unknown report action {args.report_action!r}")
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Maintain a result store: v1->v2 migration and index rebuilds."""
+    from repro.forensics.store import StoreError, migrate_store, rebuild_store
+
+    if args.store_action == "migrate":
+        try:
+            report = migrate_store(args.store)
+        except StoreError as exc:
+            print(f"repro store migrate: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"migrated {report.records} record(s) in {args.store} to the v2 "
+            f"layout: {report.segments} segment(s), ids unchanged"
+        )
+        for backup in report.backups:
+            print(f"  v1 file kept as {backup}")
+        return 0
+    if args.store_action == "rebuild":
+        info = rebuild_store(args.store)
+        print(
+            f"rebuilt the v{info['layout']} side index of {args.store}: "
+            f"{info['records']} record(s)"
+        )
+        return 0
+    raise AssertionError(f"unknown store action {args.store_action!r}")
 
 
 def cmd_protect(args: argparse.Namespace) -> int:
@@ -745,6 +804,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_report_io(p_rep_trend)
     p_rep_trend.set_defaults(func=cmd_report)
+
+    p_rep_query = report_sub.add_parser(
+        "query",
+        help="slice stored injections by register class / bit octet / "
+        "stage / outcome through the store's SQLite index",
+    )
+    p_rep_query.add_argument("store", type=Path, help="result store directory")
+    p_rep_query.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="filter clause (repeatable; same field twice ORs the "
+        "values, different fields AND) — fields: campaign, label, kind, "
+        "sampling, seed, probe, outcome, crash_kind, register, bit, "
+        "register_class, bit_octet, stage, last_stage, fired",
+    )
+    p_rep_query.add_argument(
+        "--group-by",
+        default="outcome",
+        metavar="F1,F2",
+        help="comma-separated grouping fields (default: outcome)",
+    )
+    _add_report_io(p_rep_query)
+    p_rep_query.set_defaults(func=cmd_report)
+
+    p_store = subparsers.add_parser(
+        "store", help="maintain a result store (migration, index rebuild)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_action", required=True)
+
+    p_store_migrate = store_sub.add_parser(
+        "migrate",
+        help="convert a v1 single-log store to the sharded v2 layout "
+        "(lossless; every record keeps its content-addressed id)",
+    )
+    p_store_migrate.add_argument("store", type=Path, help="result store directory")
+    p_store_migrate.set_defaults(func=cmd_store)
+
+    p_store_rebuild = store_sub.add_parser(
+        "rebuild",
+        help="re-derive the side index (SQLite for v2, index.jsonl for "
+        "v1) from the raw record files, repairing torn segment tails",
+    )
+    p_store_rebuild.add_argument("store", type=Path, help="result store directory")
+    p_store_rebuild.set_defaults(func=cmd_store)
 
     p_watch = subparsers.add_parser(
         "watch", help="tail a live campaign status snapshot"

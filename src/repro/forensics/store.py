@@ -1,4 +1,4 @@
-"""Content-addressed campaign result store (append-only JSONL + index).
+"""Content-addressed campaign result store: sharded segments + SQL index.
 
 Every campaign worth keeping becomes a fingerprinted, queryable
 artifact: outcome counts, register/bit histograms, per-injection
@@ -8,17 +8,44 @@ distributions and divergence attributions, stored under a
 canonical JSON — so identical campaigns collapse to one entry and a
 record can never drift from its id unnoticed.
 
-Layout (one directory per store)::
+Two on-disk layouts share one :class:`CampaignStore` facade:
 
-    <root>/campaigns.jsonl   append-only; one CRC32-guarded record per line
-    <root>/index.json        id -> summary, rebuilt on every put (small)
+Layout v2 (the default for new stores)::
 
-The JSONL follows the checkpoint journal's conventions (schema version,
-``zlib.crc32`` over the canonical payload, fsync'd appends); records
-whose CRC fails on read are reported, never silently skipped.
+    <root>/manifest.jsonl        append-only segment manifest (CRC'd lines)
+    <root>/segments/seg-NNNNNN.jsonl
+                                 bounded record segments; same CRC'd line
+                                 format as the v1 log, so migration is a
+                                 byte-for-byte line copy
+    <root>/index.sqlite          derived SQLite index (WAL) down to
+                                 per-injection rows; rebuildable from the
+                                 segments at any time
+
+Layout v1 (legacy, still fully read/writable)::
+
+    <root>/campaigns.jsonl       append-only; one CRC32-guarded record per line
+    <root>/index.jsonl           incremental side index, one line per put
+    <root>/index.json            the pre-incremental side index (read-only
+                                 fallback; new puts no longer rewrite it)
+
+The record line format follows the checkpoint journal's conventions
+(schema version, ``zlib.crc32`` over the canonical payload, fsync'd
+appends).  Mid-file corruption is reported, never silently skipped; a
+*torn tail* — the final line of the live segment truncated by a crash
+mid-``put`` — is the one recoverable case: it was never acknowledged,
+so readers ignore it and writers truncate it before appending, exactly
+like the journal's torn-record handling.
+
+The SQLite index is **derived state**: every byte of truth lives in the
+segments, and a missing, corrupt, or stale index is rebuilt (or
+incrementally re-synced from the un-indexed segment tails) on open.
+``repro store rebuild`` forces the full rebuild; ``repro store
+migrate`` converts a v1 store in place, losslessly and id-stably.
 
 Reports and regression diffs over stored campaigns live in
-:mod:`repro.forensics.report` (CLI: ``repro report``).
+:mod:`repro.forensics.report`; cross-campaign slicing queries in
+:mod:`repro.forensics.query` (CLI: ``repro report``).  See
+``docs/store.md`` for the full layout and schema reference.
 """
 
 from __future__ import annotations
@@ -26,7 +53,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sqlite3
+import time
 import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -35,13 +65,34 @@ import numpy as np
 from repro.analysis.reporting import counts_to_dict
 from repro.faultinject.campaign import CampaignResult
 from repro.faultinject.journal import config_fingerprint
-from repro.forensics.divergence import summarize_divergence
+from repro.forensics.divergence import NONE_KEY, summarize_divergence
 
-#: Bump when the record shape changes incompatibly.
+#: Bump when the *record* shape changes incompatibly.  Records are the
+#: content-addressed unit: their schema (and therefore their ids) is
+#: independent of the on-disk layout version below.
 STORE_SCHEMA_VERSION = 1
+
+#: On-disk layout generations (see module docstring).
+LAYOUT_V1 = 1
+LAYOUT_V2 = 2
 
 #: Hex digits of the SHA-256 kept as the campaign id.
 ID_LENGTH = 16
+
+#: Segment roll threshold; a segment that has reached this many bytes is
+#: sealed and the next put opens a fresh one.  Override per store via
+#: the constructor (tests) or REPRO_STORE_SEGMENT_BYTES.
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+SEGMENT_BYTES_ENV = "REPRO_STORE_SEGMENT_BYTES"
+
+#: SQLite schema generation; bumping forces a rebuild on open.
+DB_SCHEMA_VERSION = 1
+
+#: Sentinel stage for per-injection rows that carried no divergence
+#: record at all (unprobed runs) — distinct from :data:`NONE_KEY`,
+#: which means "probed, never diverged".
+UNPROBED_KEY = "unprobed"
 
 
 class StoreError(ValueError):
@@ -57,6 +108,39 @@ def campaign_id(record: dict) -> str:
     """Content-addressed id of one campaign record."""
     digest = hashlib.sha256(_canonical_json(record).encode("utf-8")).hexdigest()
     return digest[:ID_LENGTH]
+
+
+def encode_record_line(record: dict, cid: str | None = None) -> tuple[str, str]:
+    """``(cid, line)`` for one record in the shared CRC'd line format."""
+    cid = cid or campaign_id(record)
+    payload = _canonical_json(record)
+    line = _canonical_json(
+        {"id": cid, "crc32": zlib.crc32(payload.encode("utf-8")), "record": record}
+    )
+    return cid, line
+
+
+def decode_record_line(line: str, where: str) -> tuple[str, dict]:
+    """Parse and verify one record line; raises :class:`StoreError`.
+
+    ``where`` names the file/line for error messages.  Both the CRC and
+    the content address are checked, so a record can neither rot nor
+    drift from its id unnoticed.
+    """
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"store record at {where} is not JSON: {exc}") from None
+    record = entry.get("record")
+    cid = entry.get("id")
+    if not isinstance(record, dict) or not isinstance(cid, str):
+        raise StoreError(f"store record at {where} is malformed")
+    payload = _canonical_json(record)
+    if zlib.crc32(payload.encode("utf-8")) != entry.get("crc32"):
+        raise StoreError(f"store record {cid} at {where} failed its CRC check")
+    if campaign_id(record) != cid:
+        raise StoreError(f"store record at {where} does not hash to its id {cid}")
+    return cid, record
 
 
 def build_record(
@@ -127,13 +211,189 @@ def build_record(
     return record
 
 
-class CampaignStore:
-    """One store directory of campaign records."""
+# ---------------------------------------------------------------------------
+# Per-injection row normalization (shared by the SQL index and the
+# brute-force scan path, so both query engines see identical values)
+# ---------------------------------------------------------------------------
 
-    def __init__(self, root: Path | str) -> None:
+#: Bits per octet column; 64 bits fold into 8 octets, 32 registers into
+#: 4 register classes (matching the report heatmaps and the stratified
+#: sampler's default axes).
+OCTET = 8
+REGISTERS_PER_CLASS = 8
+
+
+def injection_view(row: list) -> dict:
+    """Normalized view of one stored ``injections`` row.
+
+    ``first_divergence`` / ``last_stage`` are ``UNPROBED_KEY`` for rows
+    without a divergence record, :data:`NONE_KEY` for probed rows that
+    never diverged / completed, and the stage name otherwise — one
+    vocabulary for both the SQL index and the brute-force scanner.
+    """
+    register, bit = int(row[0]), int(row[1])
+    probed = int(row[7]) >= 0
+    return {
+        "register": register,
+        "bit": bit,
+        "register_class": register // REGISTERS_PER_CLASS,
+        "bit_octet": bit // OCTET,
+        "outcome": row[2],
+        "crash_kind": row[3] or "",
+        "fired": int(row[4]),
+        "first_divergence": (row[5] or NONE_KEY) if probed else UNPROBED_KEY,
+        "last_stage": (row[6] or NONE_KEY) if probed else UNPROBED_KEY,
+        "diverged_bits": int(row[7]),
+        "probed": 1 if probed else 0,
+    }
+
+
+def record_summary(record: dict) -> dict:
+    """Per-campaign summary row (index payload, ``report list``)."""
+    fingerprint = record["fingerprint"]
+    counts = record["counts"]
+    return {
+        "label": record.get("label"),
+        "kind": fingerprint["kind"],
+        "n_injections": fingerprint["n_injections"],
+        "seed": fingerprint["seed"],
+        "probe": bool(fingerprint.get("probe")),
+        "sampling": "stratified" if record.get("sampling") else "uniform",
+        "total": counts["total"],
+        "masked": counts["masked"],
+        "sdc": counts["sdc"],
+        "crash_segv": counts["crash_segv"],
+        "crash_abort": counts["crash_abort"],
+        "hang": counts["hang"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shared line-file helpers
+# ---------------------------------------------------------------------------
+
+
+def _fsync_append(path: Path, line: str) -> tuple[int, int]:
+    """Append ``line`` + newline, fsync'd; returns ``(offset, length)``."""
+    data = (line + "\n").encode("utf-8")
+    with open(path, "ab") as handle:
+        offset = handle.tell()
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return offset, len(data)
+
+
+def _scan_lines(
+    path: Path, start: int = 0
+) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(offset, length, text)`` per complete line from ``start``.
+
+    A trailing fragment without a newline is *not* yielded — that is the
+    torn-tail case the caller decides how to handle (its offset is where
+    the last complete line ended).
+    """
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        offset = start
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                return  # torn tail: never acknowledged, never yielded
+            yield offset, len(raw), raw[:-1].decode("utf-8")
+            offset += len(raw)
+
+
+def _complete_prefix_end(path: Path, start: int = 0) -> int:
+    """Byte offset just past the last newline-terminated line."""
+    end = start
+    for offset, length, _text in _scan_lines(path, start):
+        end = offset + length
+    return end
+
+
+# ---------------------------------------------------------------------------
+# The store facade
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MigrationReport:
+    """What ``migrate_store`` did, for logs and assertions."""
+
+    root: Path
+    ids: list[str] = field(default_factory=list)
+    segments: int = 0
+    backups: list[str] = field(default_factory=list)
+
+    @property
+    def records(self) -> int:
+        return len(self.ids)
+
+
+class CampaignStore:
+    """One store directory of campaign records (layout autodetected).
+
+    ``layout`` pins a specific on-disk generation (tests, migration);
+    the default detects an existing store and creates new stores as v2.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        layout: int | None = None,
+        segment_max_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root)
+        # v1 files
         self.records_path = self.root / "campaigns.jsonl"
         self.index_path = self.root / "index.json"
+        self.index_jsonl_path = self.root / "index.jsonl"
+        # v2 files
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.segments_dir = self.root / "segments"
+        self.db_path = self.root / "index.sqlite"
+        if layout not in (None, LAYOUT_V1, LAYOUT_V2):
+            raise StoreError(f"unknown store layout {layout!r}")
+        self._layout = layout
+        if segment_max_bytes is None:
+            raw = os.environ.get(SEGMENT_BYTES_ENV)
+            segment_max_bytes = int(raw) if raw else DEFAULT_SEGMENT_MAX_BYTES
+        if segment_max_bytes < 1:
+            raise StoreError(f"segment_max_bytes must be >= 1, got {segment_max_bytes}")
+        self.segment_max_bytes = segment_max_bytes
+        self._conn: sqlite3.Connection | None = None
+        self._repaired = False
+        self._v1_index: dict | None = None
+
+    # -- layout detection --------------------------------------------------
+
+    @property
+    def layout(self) -> int:
+        """The store's on-disk layout generation (new stores: v2)."""
+        if self._layout is not None:
+            return self._layout
+        if self.manifest_path.exists():
+            return LAYOUT_V2
+        if self.records_path.exists():
+            return LAYOUT_V1
+        return LAYOUT_V2
+
+    @property
+    def indexed(self) -> bool:
+        """Whether slicing queries run against the SQLite index."""
+        return self.layout == LAYOUT_V2
+
+    def close(self) -> None:
+        """Release the SQLite handle (stores are also usable ad hoc)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- writing ----------------------------------------------------------
 
@@ -144,23 +404,9 @@ class CampaignStore:
                 f"record schema {record.get('schema')!r} is not supported "
                 f"(expected {STORE_SCHEMA_VERSION})"
             )
-        cid = campaign_id(record)
-        index = self._load_index()
-        if cid in index["campaigns"]:
-            return cid
-        self.root.mkdir(parents=True, exist_ok=True)
-        payload = _canonical_json(record)
-        line = _canonical_json(
-            {"id": cid, "crc32": zlib.crc32(payload.encode("utf-8")), "record": record}
-        )
-        with open(self.records_path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        index["order"].append(cid)
-        index["campaigns"][cid] = self._summary(record)
-        self._write_index(index)
-        return cid
+        if self.layout == LAYOUT_V1:
+            return self._v1_put(record)
+        return self._v2_put(record)
 
     def put_campaign(
         self,
@@ -175,76 +421,702 @@ class CampaignStore:
 
     def ids(self) -> list[str]:
         """Stored campaign ids in insertion order."""
-        return list(self._load_index()["order"])
+        if self.layout == LAYOUT_V1:
+            return list(self._v1_load_index()["order"])
+        conn = self._db()
+        return [row[0] for row in conn.execute("SELECT cid FROM campaigns ORDER BY seq")]
 
     def summaries(self) -> dict[str, dict]:
-        """Per-id summary rows from the index (insertion order)."""
-        index = self._load_index()
-        return {cid: index["campaigns"][cid] for cid in index["order"]}
+        """Per-id summary rows from the index (insertion order).
+
+        Rows carry the full outcome-count breakdown (plus sampling
+        mode) so listing consumers — ``report list``, the trend
+        dashboard's uniform rows — never need the full record.  Legacy
+        ``index.json`` rows predate some fields; they surface as-is
+        until the store is rebuilt or migrated.
+        """
+        if self.layout == LAYOUT_V1:
+            index = self._v1_load_index()
+            return {cid: index["campaigns"][cid] for cid in index["order"]}
+        conn = self._db()
+        rows = conn.execute(
+            "SELECT cid, label, kind, n_injections, seed, probe, sampling, "
+            "total, masked, sdc, crash_segv, crash_abort, hang "
+            "FROM campaigns ORDER BY seq"
+        )
+        return {
+            row[0]: {
+                "label": row[1],
+                "kind": row[2],
+                "n_injections": row[3],
+                "seed": row[4],
+                "probe": bool(row[5]),
+                "sampling": row[6],
+                "total": row[7],
+                "masked": row[8],
+                "sdc": row[9],
+                "crash_segv": row[10],
+                "crash_abort": row[11],
+                "hang": row[12],
+            }
+            for row in rows
+        }
 
     def get(self, cid: str) -> dict:
-        """Load one record by id, verifying its CRC."""
-        for line_number, entry in self._iter_entries():
-            if entry.get("id") != cid:
-                continue
-            record = entry.get("record")
-            payload = _canonical_json(record)
-            if zlib.crc32(payload.encode("utf-8")) != entry.get("crc32"):
-                raise StoreError(
-                    f"store record {cid} (line {line_number}) failed its CRC check"
+        """Load one record by id, verifying its CRC and content address.
+
+        v2 stores resolve the id through the SQLite index to a single
+        ``(segment, offset, length)`` seek — O(log n), not a scan.
+        """
+        if self.layout == LAYOUT_V1:
+            return self._v1_get(cid)
+        conn = self._db()
+        row = conn.execute(
+            "SELECT segment, offset, length FROM campaigns WHERE cid = ?", (cid,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(
+                f"campaign {cid!r} is not in store {self.root} "
+                f"(known: {', '.join(self.ids()) or 'none'})"
+            )
+        segment, offset, length = row
+        path = self.segments_dir / segment
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(length)
+        except OSError as exc:
+            raise StoreError(f"store segment {path} is unreadable: {exc}") from None
+        if not data.endswith(b"\n"):
+            raise StoreError(
+                f"store segment {segment} is shorter than its index entry for {cid}"
+            )
+        found, record = decode_record_line(
+            data[:-1].decode("utf-8"), f"{segment}@{offset}"
+        )
+        if found != cid:
+            raise StoreError(
+                f"store index for {cid} points at record {found} "
+                f"({segment}@{offset}); run `repro store rebuild {self.root}`"
+            )
+        return record
+
+    def records(self) -> Iterator[tuple[str, dict]]:
+        """All ``(cid, record)`` pairs in insertion order (verified).
+
+        This is the brute-force path: it decodes every segment line and
+        is what the indexed query engine is property-tested against.
+        """
+        for _segment, _offset, _length, cid, record in self._iter_records():
+            yield cid, record
+
+    def location(self, cid: str) -> tuple[str, int, int] | None:
+        """``(segment, offset, length)`` for one id (v2 stores only)."""
+        if self.layout != LAYOUT_V2:
+            return None
+        row = self._db().execute(
+            "SELECT segment, offset, length FROM campaigns WHERE cid = ?", (cid,)
+        ).fetchone()
+        return (row[0], row[1], row[2]) if row is not None else None
+
+    def _iter_records(self) -> Iterator[tuple[str, int, int, str, dict]]:
+        if self.layout == LAYOUT_V1:
+            if not self.records_path.exists():
+                return
+            for offset, length, text in _scan_lines(self.records_path):
+                cid, record = decode_record_line(
+                    text, f"{self.records_path}:{offset}"
                 )
-            if campaign_id(record) != cid:
-                raise StoreError(
-                    f"store record at line {line_number} does not hash to its id {cid}"
-                )
-            return record
+                yield "campaigns.jsonl", offset, length, cid, record
+            return
+        for segment in self._manifest_segments():
+            path = self.segments_dir / segment
+            if not path.exists():
+                continue  # crash between manifest append and first write
+            for offset, length, text in _scan_lines(path):
+                cid, record = decode_record_line(text, f"{segment}:{offset}")
+                yield segment, offset, length, cid, record
+
+    # ------------------------------------------------------------------
+    # v1 backend (legacy layout, kept fully writable)
+    # ------------------------------------------------------------------
+
+    def _v1_put(self, record: dict) -> str:
+        index = self._v1_load_index()
+        cid = campaign_id(record)
+        if cid in index["campaigns"]:
+            return cid
+        self.root.mkdir(parents=True, exist_ok=True)
+        _cid, line = encode_record_line(record, cid)
+        _fsync_append(self.records_path, line)
+        summary = record_summary(record)
+        # O(1) ingest: one appended side-index line per record — the
+        # monolithic rewrite-the-world index.json is never written again
+        # (only read, as a legacy fallback).
+        _fsync_append(
+            self.index_jsonl_path, _canonical_json({"id": cid, "summary": summary})
+        )
+        index["order"].append(cid)
+        index["campaigns"][cid] = summary
+        return cid
+
+    def _v1_get(self, cid: str) -> dict:
+        for _seg, offset, _length, found, record in self._iter_records():
+            if found == cid:
+                return record
         raise StoreError(
             f"campaign {cid!r} is not in store {self.root} "
             f"(known: {', '.join(self.ids()) or 'none'})"
         )
 
-    def _iter_entries(self) -> Iterator[tuple[int, dict]]:
-        if not self.records_path.exists():
-            return
-        with open(self.records_path, encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise StoreError(
-                        f"store {self.records_path} line {line_number} is not JSON: {exc}"
-                    ) from None
-                yield line_number, entry
-
-    # -- index ------------------------------------------------------------
-
-    @staticmethod
-    def _summary(record: dict) -> dict:
-        fingerprint = record["fingerprint"]
-        counts = record["counts"]
-        return {
-            "label": record.get("label"),
-            "kind": fingerprint["kind"],
-            "n_injections": fingerprint["n_injections"],
-            "seed": fingerprint["seed"],
-            "probe": bool(fingerprint.get("probe")),
-            "total": counts["total"],
-            "sdc": counts["sdc"],
-        }
-
-    def _load_index(self) -> dict:
-        if not self.index_path.exists():
-            return {"schema": STORE_SCHEMA_VERSION, "order": [], "campaigns": {}}
-        index = json.loads(self.index_path.read_text())
-        if index.get("schema") != STORE_SCHEMA_VERSION:
-            raise StoreError(
-                f"store index {self.index_path} schema {index.get('schema')!r} "
-                f"is not supported (expected {STORE_SCHEMA_VERSION})"
-            )
+    def _v1_load_index(self) -> dict:
+        """The v1 side index, self-healing: rebuilt when missing/corrupt."""
+        if self._v1_index is not None:
+            return self._v1_index
+        index = self._v1_read_side_index()
+        if index is None:
+            index = self._v1_rebuild_index()
+        self._v1_index = index
         return index
 
-    def _write_index(self, index: dict) -> None:
-        self.index_path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
+    def _v1_read_side_index(self) -> dict | None:
+        if self.index_jsonl_path.exists():
+            order: list[str] = []
+            campaigns: dict[str, dict] = {}
+            try:
+                for _offset, _length, text in _scan_lines(self.index_jsonl_path):
+                    entry = json.loads(text)
+                    cid, summary = entry["id"], entry["summary"]
+                    if cid not in campaigns:
+                        order.append(cid)
+                        campaigns[cid] = summary
+            except (json.JSONDecodeError, KeyError, TypeError):
+                return None  # corrupt side index -> rebuild from the log
+            return {"schema": STORE_SCHEMA_VERSION, "order": order, "campaigns": campaigns}
+        if self.index_path.exists():
+            try:
+                index = json.loads(self.index_path.read_text())
+            except json.JSONDecodeError:
+                return None
+            if index.get("schema") != STORE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store index {self.index_path} schema {index.get('schema')!r} "
+                    f"is not supported (expected {STORE_SCHEMA_VERSION})"
+                )
+            if not isinstance(index.get("order"), list) or not isinstance(
+                index.get("campaigns"), dict
+            ):
+                return None
+            return index
+        if not self.records_path.exists():
+            return {"schema": STORE_SCHEMA_VERSION, "order": [], "campaigns": {}}
+        return None
+
+    def _v1_rebuild_index(self) -> dict:
+        """Re-derive the side index from the log and persist it."""
+        order: list[str] = []
+        campaigns: dict[str, dict] = {}
+        for _seg, _offset, _length, cid, record in self._iter_records():
+            if cid not in campaigns:
+                order.append(cid)
+                campaigns[cid] = record_summary(record)
+        lines = [
+            _canonical_json({"id": cid, "summary": campaigns[cid]}) for cid in order
+        ]
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_jsonl_path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(line + "\n" for line in lines))
+        os.replace(tmp, self.index_jsonl_path)
+        return {"schema": STORE_SCHEMA_VERSION, "order": order, "campaigns": campaigns}
+
+    # ------------------------------------------------------------------
+    # v2 backend (segments + manifest + SQLite)
+    # ------------------------------------------------------------------
+
+    def _manifest_segments(self) -> list[str]:
+        """Segment names in manifest (append) order; torn tail ignored."""
+        if not self.manifest_path.exists():
+            return []
+        segments: list[str] = []
+        for offset, _length, text in _scan_lines(self.manifest_path):
+            try:
+                entry = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"store manifest {self.manifest_path} offset {offset} "
+                    f"is not JSON: {exc}"
+                ) from None
+            payload = entry.get("entry")
+            if not isinstance(payload, dict) or zlib.crc32(
+                _canonical_json(payload).encode("utf-8")
+            ) != entry.get("crc32"):
+                raise StoreError(
+                    f"store manifest {self.manifest_path} offset {offset} "
+                    f"failed its CRC check"
+                )
+            if payload.get("type") == "header":
+                if payload.get("layout") != LAYOUT_V2:
+                    raise StoreError(
+                        f"store manifest layout {payload.get('layout')!r} is not "
+                        f"supported (expected {LAYOUT_V2})"
+                    )
+            elif payload.get("type") == "segment":
+                segments.append(payload["name"])
+        return segments
+
+    def _append_manifest(self, payload: dict) -> None:
+        line = _canonical_json(
+            {"crc32": zlib.crc32(_canonical_json(payload).encode("utf-8")), "entry": payload}
+        )
+        _fsync_append(self.manifest_path, line)
+
+    def _segment_name(self, index: int) -> str:
+        return f"seg-{index:06d}.jsonl"
+
+    def _live_segment(self, conn: sqlite3.Connection) -> str:
+        """The segment the next put appends to, rolling when full.
+
+        The manifest line is fsync'd *before* the segment file is
+        created, so no record can ever live in an unreferenced segment.
+        """
+        segments = self._manifest_segments()
+        if not segments:
+            self.segments_dir.mkdir(parents=True, exist_ok=True)
+            self._append_manifest({"type": "header", "layout": LAYOUT_V2})
+            name = self._segment_name(1)
+            self._append_manifest({"type": "segment", "name": name, "seq": 1})
+            conn.execute(
+                "INSERT OR IGNORE INTO segments(name, seq, indexed_bytes) VALUES (?, ?, 0)",
+                (name, 1),
+            )
+            return name
+        live = segments[-1]
+        path = self.segments_dir / live
+        if path.exists() and path.stat().st_size >= self.segment_max_bytes:
+            name = self._segment_name(len(segments) + 1)
+            self._append_manifest(
+                {"type": "segment", "name": name, "seq": len(segments) + 1}
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO segments(name, seq, indexed_bytes) VALUES (?, ?, 0)",
+                (name, len(segments) + 1),
+            )
+            return name
+        return live
+
+    def _v2_put(self, record: dict) -> str:
+        cid = campaign_id(record)
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = self._db(repair=True)
+        exists = conn.execute(
+            "SELECT 1 FROM campaigns WHERE cid = ?", (cid,)
+        ).fetchone()
+        if exists is not None:
+            return cid
+        segment = self._live_segment(conn)
+        path = self.segments_dir / segment
+        _cid, line = encode_record_line(record, cid)
+        offset, length = _fsync_append(path, line)
+        self._index_record(conn, segment, offset, length, cid, record)
+        conn.execute(
+            "UPDATE segments SET indexed_bytes = ? WHERE name = ?",
+            (offset + length, segment),
+        )
+        conn.commit()
+        return cid
+
+    def _db(self, repair: bool = False) -> sqlite3.Connection:
+        """The SQLite index, opened/validated/synced on first use.
+
+        Derived state: missing or corrupt databases are rebuilt from the
+        segments; stale databases (segment bytes beyond what is indexed
+        — e.g. the index write raced a crash) are incrementally re-synced
+        by scanning only the un-indexed tails.  ``repair=True`` lets the
+        sync truncate torn segment tails (writer paths); read paths
+        leave the file untouched and simply ignore the tail.
+        """
+        if self._conn is not None:
+            if repair and not self._repaired:
+                # First opened by a read path: writers must still clear
+                # any torn segment tail before they append after it.
+                self._sync_index(self._conn, repair=True)
+                self._repaired = True
+            return self._conn
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = self._open_db()
+        if conn is None:
+            try:
+                self.db_path.unlink()
+            except FileNotFoundError:
+                pass
+            conn = self._open_db()
+            assert conn is not None  # fresh file: schema just created
+        try:
+            self._sync_index(conn, repair=repair)
+        except StoreError:
+            conn.close()
+            raise
+        self._repaired = repair
+        self._conn = conn
+        return conn
+
+    def _open_db(self) -> sqlite3.Connection | None:
+        """Open + validate (or initialize) the index; None when corrupt."""
+        try:
+            conn = sqlite3.connect(self.db_path)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+        except sqlite3.DatabaseError:
+            return None
+        if version == 0:
+            # Either a fresh database or one from before versioning —
+            # initialize idempotently, then stamp.
+            try:
+                tables = {
+                    row[0]
+                    for row in conn.execute(
+                        "SELECT name FROM sqlite_master WHERE type='table'"
+                    )
+                }
+            except sqlite3.DatabaseError:
+                conn.close()
+                return None
+            if tables:
+                conn.close()
+                return None  # foreign/unversioned database: rebuild
+            conn.executescript(_DB_SCHEMA)
+            conn.execute(f"PRAGMA user_version = {DB_SCHEMA_VERSION}")
+            conn.commit()
+            return conn
+        if version != DB_SCHEMA_VERSION:
+            conn.close()
+            return None
+        try:
+            conn.execute("SELECT seq FROM campaigns LIMIT 1").fetchone()
+            conn.execute("SELECT name FROM segments LIMIT 1").fetchone()
+        except sqlite3.DatabaseError:
+            conn.close()
+            return None
+        return conn
+
+    def _sync_index(self, conn: sqlite3.Connection, repair: bool) -> None:
+        """Bring the index up to date with the segment files."""
+        manifest = self._manifest_segments()
+        indexed = {
+            name: bytes_done
+            for name, bytes_done in conn.execute(
+                "SELECT name, indexed_bytes FROM segments"
+            )
+        }
+        stale = set(indexed) - set(manifest)
+        if stale:
+            raise StoreError(
+                f"store index references unknown segment(s) {sorted(stale)}; "
+                f"run `repro store rebuild {self.root}`"
+            )
+        dirty = False
+        for seq, name in enumerate(manifest, start=1):
+            path = self.segments_dir / name
+            size = path.stat().st_size if path.exists() else 0
+            done = indexed.get(name, 0)
+            if name not in indexed:
+                conn.execute(
+                    "INSERT INTO segments(name, seq, indexed_bytes) VALUES (?, ?, 0)",
+                    (name, seq),
+                )
+                dirty = True
+            if size < done:
+                raise StoreError(
+                    f"store segment {name} is shorter ({size}B) than its index "
+                    f"claims ({done}B); run `repro store rebuild {self.root}`"
+                )
+            if size > done:
+                end = self._ingest_segment_tail(conn, name, start=done)
+                if repair and end < size:
+                    # Torn tail from a crashed put: the record was never
+                    # acknowledged, so drop it before the next append —
+                    # the same recovery the checkpoint journal applies.
+                    with open(path, "r+b") as handle:
+                        handle.truncate(end)
+                dirty = True
+        if dirty:
+            conn.commit()
+
+    def _ingest_segment_tail(
+        self, conn: sqlite3.Connection, segment: str, start: int
+    ) -> int:
+        """Index every complete record line from ``start``; returns end."""
+        path = self.segments_dir / segment
+        end = start
+        for offset, length, text in _scan_lines(path, start):
+            cid, record = decode_record_line(text, f"{segment}:{offset}")
+            if (
+                conn.execute(
+                    "SELECT 1 FROM campaigns WHERE cid = ?", (cid,)
+                ).fetchone()
+                is None
+            ):
+                self._index_record(conn, segment, offset, length, cid, record)
+            end = offset + length
+        conn.execute(
+            "UPDATE segments SET indexed_bytes = ? WHERE name = ?", (end, segment)
+        )
+        return end
+
+    def _index_record(
+        self,
+        conn: sqlite3.Connection,
+        segment: str,
+        offset: int,
+        length: int,
+        cid: str,
+        record: dict,
+    ) -> None:
+        """One batched transaction's worth of index rows for a record."""
+        summary = record_summary(record)
+        cursor = conn.execute(
+            "INSERT INTO campaigns(cid, label, kind, n_injections, seed, probe, "
+            "sampling, total, masked, sdc, crash_segv, crash_abort, hang, "
+            "segment, offset, length, ingested_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                cid,
+                summary["label"],
+                summary["kind"],
+                summary["n_injections"],
+                summary["seed"],
+                1 if summary["probe"] else 0,
+                summary["sampling"],
+                summary["total"],
+                summary["masked"],
+                summary["sdc"],
+                summary["crash_segv"],
+                summary["crash_abort"],
+                summary["hang"],
+                segment,
+                offset,
+                length,
+                time.time(),
+            ),
+        )
+        seq = cursor.lastrowid
+        conn.executemany(
+            "INSERT INTO injections(campaign_seq, item, register, bit, "
+            "register_class, bit_octet, outcome, crash_kind, fired, "
+            "first_divergence, last_stage, diverged_bits, probed) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    seq,
+                    item,
+                    view["register"],
+                    view["bit"],
+                    view["register_class"],
+                    view["bit_octet"],
+                    view["outcome"],
+                    view["crash_kind"],
+                    view["fired"],
+                    view["first_divergence"],
+                    view["last_stage"],
+                    view["diverged_bits"],
+                    view["probed"],
+                )
+                for item, view in enumerate(
+                    injection_view(row) for row in record["injections"]
+                )
+            ),
+        )
+
+
+_DB_SCHEMA = """
+CREATE TABLE segments(
+    name TEXT PRIMARY KEY,
+    seq INTEGER NOT NULL,
+    indexed_bytes INTEGER NOT NULL
+);
+CREATE TABLE campaigns(
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    cid TEXT NOT NULL UNIQUE,
+    label TEXT,
+    kind TEXT NOT NULL,
+    n_injections INTEGER NOT NULL,
+    seed INTEGER NOT NULL,
+    probe INTEGER NOT NULL,
+    sampling TEXT NOT NULL,
+    total INTEGER NOT NULL,
+    masked INTEGER NOT NULL,
+    sdc INTEGER NOT NULL,
+    crash_segv INTEGER NOT NULL,
+    crash_abort INTEGER NOT NULL,
+    hang INTEGER NOT NULL,
+    segment TEXT NOT NULL,
+    offset INTEGER NOT NULL,
+    length INTEGER NOT NULL,
+    ingested_at REAL
+);
+CREATE TABLE injections(
+    campaign_seq INTEGER NOT NULL REFERENCES campaigns(seq),
+    item INTEGER NOT NULL,
+    register INTEGER NOT NULL,
+    bit INTEGER NOT NULL,
+    register_class INTEGER NOT NULL,
+    bit_octet INTEGER NOT NULL,
+    outcome TEXT NOT NULL,
+    crash_kind TEXT NOT NULL,
+    fired INTEGER NOT NULL,
+    first_divergence TEXT NOT NULL,
+    last_stage TEXT NOT NULL,
+    diverged_bits INTEGER NOT NULL,
+    probed INTEGER NOT NULL,
+    PRIMARY KEY(campaign_seq, item)
+) WITHOUT ROWID;
+CREATE INDEX idx_inj_outcome ON injections(outcome, register_class, bit_octet);
+CREATE INDEX idx_inj_cell ON injections(register_class, bit_octet);
+CREATE INDEX idx_inj_stage ON injections(first_divergence);
+CREATE INDEX idx_campaign_label ON campaigns(label);
+"""
+
+
+# ---------------------------------------------------------------------------
+# Migration and rebuild
+# ---------------------------------------------------------------------------
+
+
+def migrate_store(
+    root: Path | str, segment_max_bytes: int | None = None
+) -> MigrationReport:
+    """Convert a v1 store to the v2 layout in place — lossless, id-stable.
+
+    Record lines are copied **byte-for-byte** from ``campaigns.jsonl``
+    into the new segments (after CRC + content-address verification), so
+    every record round-trips identically and keeps its sha256 id.  The
+    v1 files are kept beside the new layout as ``*.v1`` backups; the
+    manifest is written last, so a crash mid-migration leaves a store
+    that still reads as v1.
+    """
+    store = CampaignStore(root, segment_max_bytes=segment_max_bytes)
+    report = MigrationReport(root=store.root)
+    if store.layout == LAYOUT_V2 and store.manifest_path.exists():
+        raise StoreError(f"store {store.root} already uses the v2 layout")
+    if not store.records_path.exists():
+        raise StoreError(f"store {store.root} has no campaigns.jsonl to migrate")
+
+    # Pass 1: verify every line and plan the segment split.
+    lines: list[tuple[str, str]] = []  # (cid, raw line text)
+    for offset, _length, text in _scan_lines(store.records_path):
+        cid, _record = decode_record_line(text, f"{store.records_path}:{offset}")
+        lines.append((cid, text))
+
+    # Pass 2: write segments (verbatim lines), then the SQLite index,
+    # then the manifest — detection flips to v2 only once everything is
+    # in place.
+    store.segments_dir.mkdir(parents=True, exist_ok=True)
+    segments: list[str] = []
+    current: list[str] = []
+    current_bytes = 0
+    limit = store.segment_max_bytes
+
+    def flush() -> None:
+        nonlocal current, current_bytes
+        if not current:
+            return
+        name = f"seg-{len(segments) + 1:06d}.jsonl"
+        path = store.segments_dir / name
+        with open(path, "wb") as handle:
+            handle.write("".join(line + "\n" for line in current).encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        segments.append(name)
+        current = []
+        current_bytes = 0
+
+    for cid, text in lines:
+        size = len(text.encode("utf-8")) + 1
+        if current and current_bytes + size > limit:
+            flush()
+        current.append(text)
+        current_bytes += size
+        report.ids.append(cid)
+    flush()
+    if not segments:  # empty store still gets one (empty) live segment
+        name = "seg-000001.jsonl"
+        (store.segments_dir / name).touch()
+        segments.append(name)
+    report.segments = len(segments)
+
+    # Fresh index over the new segments.
+    try:
+        store.db_path.unlink()
+    except FileNotFoundError:
+        pass
+    manifest_lines = []
+    for payload in (
+        {"type": "header", "layout": LAYOUT_V2},
+        *(
+            {"type": "segment", "name": name, "seq": seq}
+            for seq, name in enumerate(segments, start=1)
+        ),
+    ):
+        manifest_lines.append(
+            _canonical_json(
+                {
+                    "crc32": zlib.crc32(_canonical_json(payload).encode("utf-8")),
+                    "entry": payload,
+                }
+            )
+        )
+    tmp = store.manifest_path.with_suffix(".jsonl.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write("".join(line + "\n" for line in manifest_lines).encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, store.manifest_path)
+
+    # Retire the v1 files so detection is unambiguous.
+    for old in (store.records_path, store.index_path, store.index_jsonl_path):
+        if old.exists():
+            backup = old.with_name(old.name + ".v1")
+            os.replace(old, backup)
+            report.backups.append(backup.name)
+
+    # Build the index (and verify the ids survived) through the normal
+    # open-time sync path.
+    migrated = CampaignStore(root, segment_max_bytes=segment_max_bytes)
+    with migrated:
+        migrated._db(repair=True)
+        new_ids = migrated.ids()
+    if new_ids != report.ids:
+        raise StoreError(
+            f"migration of {store.root} changed the id sequence "
+            f"({len(report.ids)} -> {len(new_ids)} records)"
+        )
+    return report
+
+
+def rebuild_store(root: Path | str) -> dict:
+    """Rebuild the derived side index from the raw record files.
+
+    v1 stores get a fresh ``index.jsonl``; v2 stores get a fresh
+    ``index.sqlite`` (torn segment tails are truncated).  Returns
+    ``{layout, records}``.
+    """
+    store = CampaignStore(root)
+    if store.layout == LAYOUT_V1:
+        index = store._v1_rebuild_index()
+        store._v1_index = index
+        return {"layout": LAYOUT_V1, "records": len(index["order"])}
+    store.close()
+    try:
+        store.db_path.unlink()
+    except FileNotFoundError:
+        pass
+    for suffix in ("-wal", "-shm"):
+        try:
+            Path(str(store.db_path) + suffix).unlink()
+        except FileNotFoundError:
+            pass
+    with CampaignStore(root, segment_max_bytes=store.segment_max_bytes) as fresh:
+        fresh._db(repair=True)
+        count = len(fresh.ids())
+    return {"layout": LAYOUT_V2, "records": count}

@@ -53,6 +53,31 @@ def sparkline(values: list[float], ceiling: float | None = None) -> str:
     return "".join(chars)
 
 
+#: Summary fields a trend row can be built from without loading the
+#: full record (uniform campaigns; stratified ones need the record's
+#: Horvitz-Thompson rates).
+_SUMMARY_COUNT_FIELDS = ("total", "masked", "sdc", "crash_segv", "crash_abort", "hang")
+
+
+def _counts_from_summary(summary: dict) -> tuple[dict[str, int], int] | None:
+    """Effective outcome counts straight from an index summary row.
+
+    Returns ``None`` when the row cannot stand in for the record: a
+    stratified campaign (its diff-comparable counts are reweighted) or
+    a legacy ``index.json`` row predating the full count breakdown.
+    """
+    if summary.get("sampling", None) != "uniform":
+        return None
+    if any(field not in summary for field in _SUMMARY_COUNT_FIELDS):
+        return None
+    return {
+        "mask": int(summary["masked"]),
+        "sdc": int(summary["sdc"]),
+        "crash": int(summary["crash_segv"]) + int(summary["crash_abort"]),
+        "hang": int(summary["hang"]),
+    }, int(summary["total"])
+
+
 def build_trend(
     store: CampaignStore, bench_path: Path | str | None = None
 ) -> dict:
@@ -60,13 +85,25 @@ def build_trend(
 
     Returns ``{campaigns, outcomes, gates, flagged, bench}`` where
     ``gates`` holds one z-test row per adjacent campaign pair and
-    outcome, and ``flagged`` lists the significant ones.
+    outcome, and ``flagged`` lists the significant ones.  Reads go
+    through the store index: uniform campaigns are charted from their
+    summary rows alone; only stratified records (whose gate-comparable
+    counts are Horvitz-Thompson reweighted) are fully loaded.
     """
-    ids = store.ids()
     campaigns = []
-    for cid in ids:
-        record = store.get(cid)
-        effective, total = _effective_outcome_counts(record)
+    for cid, summary in store.summaries().items():
+        from_summary = _counts_from_summary(summary)
+        if from_summary is not None:
+            effective, total = from_summary
+            label = summary.get("label")
+            kind = summary["kind"]
+            stratified = False
+        else:
+            record = store.get(cid)
+            effective, total = _effective_outcome_counts(record)
+            label = record.get("label")
+            kind = record["fingerprint"]["kind"]
+            stratified = bool(record.get("sampling"))
         rates = {}
         for outcome, _fields in OUTCOME_FIELDS:
             count = effective[outcome]
@@ -80,9 +117,9 @@ def build_trend(
         campaigns.append(
             {
                 "id": cid,
-                "label": record.get("label"),
-                "kind": record["fingerprint"]["kind"],
-                "stratified": bool(record.get("sampling")),
+                "label": label,
+                "kind": kind,
+                "stratified": stratified,
                 "total": total,
                 "rates": rates,
             }

@@ -1,10 +1,12 @@
-"""CLI tests: campaign --probe/--store and the report subcommand."""
+"""CLI tests: campaign --probe/--store, report, and store subcommands."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.cli import main
+from repro.forensics.store import LAYOUT_V1, LAYOUT_V2, CampaignStore
+from repro.forensics.synth import synthesize_corpus
 
 
 @pytest.fixture(scope="module")
@@ -75,3 +77,77 @@ class TestReportCommand:
         code = main(["report", "diff", str(stored), ids[0], ids[1]])
         assert code in (0, 4)
         assert "Rate shifts" in capsys.readouterr().out
+
+    def test_list_shows_sampling_mode_column(self, stored, capsys):
+        assert main(["report", "list", str(stored)]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            assert " uniform " in f" {line} "
+
+    def test_query_groups_outcomes(self, stored, capsys):
+        assert main(["report", "query", str(stored)]) == 0
+        out = capsys.readouterr().out
+        assert "Grouped counts" in out
+        assert "matching injections" in out
+
+    def test_query_where_and_group_by(self, stored, capsys, tmp_path):
+        out_path = tmp_path / "query.md"
+        assert main(
+            [
+                "report", "query", str(stored),
+                "--where", "outcome=sdc", "--where", "outcome=crash",
+                "--group-by", "register_class,outcome",
+                "--format", "markdown", "--out", str(out_path),
+            ]
+        ) == 0
+        text = out_path.read_text()
+        assert "register_class" in text
+        assert "outcome in (sdc, crash)" in text
+
+    def test_query_bad_field_is_usage_error(self, stored, capsys):
+        assert main(["report", "query", str(stored), "--group-by", "nope"]) == 2
+        assert "unknown query field" in capsys.readouterr().err
+
+
+@pytest.fixture
+def v1_store_root(tmp_path):
+    root = tmp_path / "v1store"
+    store = CampaignStore(root, layout=LAYOUT_V1)
+    for record in synthesize_corpus(3, seed=400, n_injections=20):
+        store.put(record)
+    return root
+
+
+class TestStoreCommand:
+    def test_migrate_reports_and_converts(self, v1_store_root, capsys):
+        assert main(["store", "migrate", str(v1_store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 3 record(s)" in out
+        assert "ids unchanged" in out
+        assert CampaignStore(v1_store_root).layout == LAYOUT_V2
+
+    def test_migrate_twice_is_usage_error(self, v1_store_root, capsys):
+        assert main(["store", "migrate", str(v1_store_root)]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", str(v1_store_root)]) == 2
+        assert "already" in capsys.readouterr().err
+
+    def test_rebuild_both_layouts(self, v1_store_root, capsys):
+        assert main(["store", "rebuild", str(v1_store_root)]) == 0
+        assert "rebuilt the v1 side index" in capsys.readouterr().out
+        assert main(["store", "migrate", str(v1_store_root)]) == 0
+        capsys.readouterr()
+        assert main(["store", "rebuild", str(v1_store_root)]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt the v2 side index" in out
+        assert "3 record(s)" in out
+
+    def test_report_commands_work_after_migrate(self, v1_store_root, capsys):
+        assert main(["report", "list", str(v1_store_root)]) == 0
+        before = capsys.readouterr().out
+        assert main(["store", "migrate", str(v1_store_root)]) == 0
+        capsys.readouterr()
+        assert main(["report", "list", str(v1_store_root)]) == 0
+        assert capsys.readouterr().out == before
+        assert main(["report", "query", str(v1_store_root),
+                     "--where", "outcome=sdc", "--group-by", "stage"]) == 0
+        assert "Grouped counts" in capsys.readouterr().out

@@ -1,16 +1,28 @@
-"""Tests for the content-addressed campaign result store."""
+"""Tests for the content-addressed campaign result store (both layouts)."""
 
 from __future__ import annotations
 
 import json
+import sqlite3
 
 import pytest
 
 from repro.faultinject.campaign import CampaignConfig, run_campaign
 from repro.faultinject.registers import RegKind
-from repro.forensics.store import CampaignStore, StoreError, build_record, campaign_id
+from repro.forensics.store import (
+    LAYOUT_V1,
+    LAYOUT_V2,
+    CampaignStore,
+    StoreError,
+    build_record,
+    campaign_id,
+    record_summary,
+)
+from repro.forensics.synth import synthesize_corpus, synthesize_record
 
 from tests.faultinject.test_parallel import ToyWorkloadSpec, toy_workload
+
+LAYOUTS = (LAYOUT_V1, LAYOUT_V2)
 
 
 @pytest.fixture(scope="module")
@@ -56,52 +68,234 @@ class TestBuildRecord:
             assert set(entry) == {"index", "relative_l2", "ed"}
 
 
-class TestCampaignStore:
-    def test_put_get_roundtrip(self, toy_campaign, tmp_path):
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestCampaignStoreBothLayouts:
+    """Behaviour every layout must share, campaign-record in, record out."""
+
+    def test_put_get_roundtrip(self, toy_campaign, tmp_path, layout):
         campaign, golden = toy_campaign
-        store = CampaignStore(tmp_path / "store")
+        store = CampaignStore(tmp_path / "store", layout=layout)
         record = build_record(campaign, golden_output=golden, label="toy")
         cid = store.put(record)
         assert store.get(cid) == record
         assert store.ids() == [cid]
         assert store.summaries()[cid]["probe"] is True
+        assert store.summaries()[cid]["sampling"] == "uniform"
 
-    def test_put_is_idempotent(self, toy_campaign, tmp_path):
+    def test_put_is_idempotent(self, toy_campaign, tmp_path, layout):
         campaign, _ = toy_campaign
-        store = CampaignStore(tmp_path / "store")
+        store = CampaignStore(tmp_path / "store", layout=layout)
         record = build_record(campaign, label="same")
         assert store.put(record) == store.put(record)
         assert len(store.ids()) == 1
-        assert len(store.records_path.read_text().splitlines()) == 1
+        assert len(list(store.records())) == 1
 
-    def test_insertion_order_preserved(self, toy_campaign, tmp_path):
+    def test_insertion_order_preserved(self, toy_campaign, tmp_path, layout):
         campaign, _ = toy_campaign
-        store = CampaignStore(tmp_path / "store")
+        store = CampaignStore(tmp_path / "store", layout=layout)
         ids = [store.put(build_record(campaign, label=label)) for label in "abc"]
         assert store.ids() == ids
+        assert [cid for cid, _record in store.records()] == ids
 
-    def test_missing_id_rejected(self, tmp_path):
-        store = CampaignStore(tmp_path / "store")
+    def test_autodetect_matches_creating_layout(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "store", layout=layout)
+        store.put(synthesize_record(seed=1, n_injections=8))
+        store.close()
+        detected = CampaignStore(tmp_path / "store")
+        assert detected.layout == layout
+        assert len(detected.ids()) == 1
+
+    def test_missing_id_rejected(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "store", layout=layout)
         with pytest.raises(StoreError, match="not in store"):
             store.get("deadbeefdeadbeef")
 
-    def test_corrupted_record_detected(self, toy_campaign, tmp_path):
-        campaign, _ = toy_campaign
-        store = CampaignStore(tmp_path / "store")
-        cid = store.put(build_record(campaign, label="x"))
+    def test_wrong_schema_rejected(self, tmp_path, layout):
+        store = CampaignStore(tmp_path / "store", layout=layout)
+        with pytest.raises(StoreError, match="schema"):
+            store.put({"schema": 999})
+
+    def test_ids_stable_across_layouts(self, tmp_path, layout):
+        # Content addressing is layout-independent: the same records get
+        # the same ids whether they land in a v1 log or v2 segments.
+        record = synthesize_record(seed=5, n_injections=12)
+        store = CampaignStore(tmp_path / "store", layout=layout)
+        assert store.put(record) == campaign_id(record)
+
+    def test_put_campaign_shortcut(self, toy_campaign, tmp_path, layout):
+        campaign, golden = toy_campaign
+        store = CampaignStore(tmp_path / "store", layout=layout)
+        cid = store.put_campaign(campaign, golden_output=golden, label="short")
+        assert store.get(cid)["label"] == "short"
+
+
+class TestV1Layout:
+    def test_corrupted_record_detected(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V1)
+        cid = store.put(synthesize_record(seed=2, n_injections=10, label="x"))
         text = store.records_path.read_text()
         # Flip a stored count without recomputing the CRC.
         store.records_path.write_text(text.replace('"masked":', '"maskex":', 1))
         with pytest.raises(StoreError):
-            store.get(cid)
+            CampaignStore(tmp_path / "store").get(cid)
 
-    def test_wrong_schema_rejected(self, tmp_path):
-        store = CampaignStore(tmp_path / "store")
-        with pytest.raises(StoreError, match="schema"):
-            store.put({"schema": 999})
+    def test_put_appends_index_incrementally(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V1)
+        records = synthesize_corpus(3, seed=7, n_injections=10)
+        sizes = []
+        for record in records:
+            store.put(record)
+            sizes.append(store.index_jsonl_path.stat().st_size)
+        # One appended line per put: strictly growing, never rewritten
+        # smaller, and exactly one line per record.
+        assert sizes == sorted(sizes)
+        assert len(store.index_jsonl_path.read_text().splitlines()) == 3
+        # The legacy monolithic index is never written anymore.
+        assert not store.index_path.exists()
 
-    def test_put_campaign_shortcut(self, toy_campaign, tmp_path):
-        campaign, golden = toy_campaign
-        store = CampaignStore(tmp_path / "store")
-        cid = store.put_campaign(campaign, golden_output=golden, label="short")
-        assert store.get(cid)["label"] == "short"
+    def test_missing_side_index_rebuilt(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V1)
+        ids = [store.put(r) for r in synthesize_corpus(3, seed=20, n_injections=10)]
+        store.index_jsonl_path.unlink()
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids
+        assert fresh.index_jsonl_path.exists()
+
+    def test_corrupt_side_index_rebuilt(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V1)
+        ids = [store.put(r) for r in synthesize_corpus(2, seed=21, n_injections=10)]
+        store.index_jsonl_path.write_text("definitely{not json\n")
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids
+        assert fresh.summaries()[ids[0]]["total"] == 10
+
+    def test_legacy_index_json_read(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V1)
+        records = synthesize_corpus(2, seed=22, n_injections=10)
+        ids = [store.put(r) for r in records]
+        # Simulate a store written before the incremental index: only
+        # the monolithic index.json is present.
+        legacy = {
+            "schema": 1,
+            "order": ids,
+            "campaigns": {c: record_summary(r) for c, r in zip(ids, records)},
+        }
+        store.index_path.write_text(json.dumps(legacy, indent=2, sort_keys=True) + "\n")
+        store.index_jsonl_path.unlink()
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids
+        assert fresh.get(ids[1]) == records[1]
+
+
+class TestV2Layout:
+    def test_segments_roll_at_size_cap(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2, segment_max_bytes=2048)
+        ids = [store.put(r) for r in synthesize_corpus(5, seed=30, n_injections=20)]
+        segments = sorted(p.name for p in store.segments_dir.iterdir())
+        assert len(segments) > 1
+        # Every segment stays bounded by cap + one record's overflow.
+        for name in segments[:-1]:
+            assert (store.segments_dir / name).stat().st_size >= 2048
+        assert store.ids() == ids
+        for cid in ids:
+            assert campaign_id(store.get(cid)) == cid
+
+    def test_get_reads_one_seek_not_a_scan(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2, segment_max_bytes=2048)
+        records = synthesize_corpus(4, seed=31, n_injections=20)
+        ids = [store.put(r) for r in records]
+        segment, offset, length = store.location(ids[2])
+        raw = (store.segments_dir / segment).read_bytes()[offset : offset + length]
+        entry = json.loads(raw.decode("utf-8"))
+        assert entry["id"] == ids[2]
+        assert entry["record"] == records[2]
+
+    def test_corrupted_record_detected(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        cid = store.put(synthesize_record(seed=32, n_injections=10))
+        store.close()
+        segment = tmp_path / "store" / "segments" / "seg-000001.jsonl"
+        segment.write_bytes(segment.read_bytes().replace(b'"masked":', b'"maskex":', 1))
+        fresh = CampaignStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="CRC"):
+            fresh.get(cid)
+
+    def test_missing_sqlite_rebuilt_on_open(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        ids = [store.put(r) for r in synthesize_corpus(3, seed=33, n_injections=10)]
+        store.close()
+        (tmp_path / "store" / "index.sqlite").unlink()
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids
+
+    def test_corrupt_sqlite_rebuilt_on_open(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        ids = [store.put(r) for r in synthesize_corpus(2, seed=34, n_injections=10)]
+        store.close()
+        (tmp_path / "store" / "index.sqlite").write_bytes(b"not a database")
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids
+
+    def test_stale_sqlite_synced_incrementally(self, tmp_path):
+        # A record appended to the segment but missing from the index
+        # (the index write raced a crash) is picked up on the next open.
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        first = store.put(synthesize_record(seed=35, n_injections=10))
+        store.close()
+        stale = CampaignStore(tmp_path / "store")
+        second = stale.put(synthesize_record(seed=36, n_injections=10))
+        stale.close()
+        # Roll the index back to the first record's state.
+        conn = sqlite3.connect(tmp_path / "store" / "index.sqlite")
+        seq, segment, offset = conn.execute(
+            "SELECT seq, segment, offset FROM campaigns WHERE cid = ?", (second,)
+        ).fetchone()
+        conn.execute("DELETE FROM injections WHERE campaign_seq = ?", (seq,))
+        conn.execute("DELETE FROM campaigns WHERE seq = ?", (seq,))
+        conn.execute(
+            "UPDATE segments SET indexed_bytes = ? WHERE name = ?", (offset, segment)
+        )
+        conn.commit()
+        conn.close()
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == [first, second]
+
+    def test_torn_tail_ignored_by_readers(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        cid = store.put(synthesize_record(seed=40, n_injections=10))
+        store.close()
+        segment = tmp_path / "store" / "segments" / "seg-000001.jsonl"
+        before = segment.read_bytes()
+        # A crashed put leaves a partial, never-acknowledged final line.
+        with open(segment, "ab") as handle:
+            handle.write(b'{"id":"torn-partial-line')
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == [cid]
+        assert [c for c, _r in fresh.records()] == [cid]
+        # A pure read never modifies the file.
+        assert segment.read_bytes() == before + b'{"id":"torn-partial-line'
+
+    def test_torn_tail_truncated_before_write(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        first = store.put(synthesize_record(seed=41, n_injections=10))
+        store.close()
+        segment = tmp_path / "store" / "segments" / "seg-000001.jsonl"
+        with open(segment, "ab") as handle:
+            handle.write(b'{"id":"torn-partial-line')
+        fresh = CampaignStore(tmp_path / "store")
+        second = fresh.put(synthesize_record(seed=42, n_injections=10))
+        assert fresh.ids() == [first, second]
+        assert b"torn-partial-line" not in segment.read_bytes()
+        for line in segment.read_text().splitlines():
+            json.loads(line)  # every surviving line is whole
+
+    def test_schema_version_bump_forces_rebuild(self, tmp_path):
+        store = CampaignStore(tmp_path / "store", layout=LAYOUT_V2)
+        ids = [store.put(synthesize_record(seed=37, n_injections=10))]
+        store.close()
+        conn = sqlite3.connect(tmp_path / "store" / "index.sqlite")
+        conn.execute("PRAGMA user_version = 999")
+        conn.commit()
+        conn.close()
+        fresh = CampaignStore(tmp_path / "store")
+        assert fresh.ids() == ids

@@ -25,16 +25,25 @@ Layout v1 (legacy, still fully read/writable)::
 
     <root>/campaigns.jsonl       append-only; one CRC32-guarded record per line
     <root>/index.jsonl           incremental side index, one line per put
+                                 (each line records how far into the log it
+                                 covers, so a stale index re-syncs on open)
     <root>/index.json            the pre-incremental side index (read-only
-                                 fallback; new puts no longer rewrite it)
+                                 fallback; the first put materializes the
+                                 full index.jsonl from the log before
+                                 appending to it)
 
 The record line format follows the checkpoint journal's conventions
 (schema version, ``zlib.crc32`` over the canonical payload, fsync'd
 appends).  Mid-file corruption is reported, never silently skipped; a
-*torn tail* — the final line of the live segment truncated by a crash
-mid-``put`` — is the one recoverable case: it was never acknowledged,
-so readers ignore it and writers truncate it before appending, exactly
-like the journal's torn-record handling.
+*torn tail* — the final line of the live log/segment truncated by a
+crash mid-``put`` — is the one recoverable case: it was never
+acknowledged, so readers ignore it and writers (both layouts) truncate
+it before appending, exactly like the journal's torn-record handling.
+
+Writers serialize through an advisory ``flock`` on ``<root>/.lock``
+(where the platform provides one), and each v2 put re-syncs any segment
+bytes another writer appended before trusting its own offsets, so
+concurrent processes may share a store.  Readers never take the lock.
 
 The SQLite index is **derived state**: every byte of truth lives in the
 segments, and a missing, corrupt, or stale index is rebuilt (or
@@ -56,9 +65,15 @@ import os
 import sqlite3
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
+
+try:  # advisory writer lock; POSIX-only, degrades to documented single-writer
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -311,6 +326,48 @@ def _complete_prefix_end(path: Path, start: int = 0) -> int:
     return end
 
 
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a crash-torn final line so the next append starts clean.
+
+    O(1) when the file is healthy (last byte is a newline); only a torn
+    tail pays the rescan to find the last complete line.
+    """
+    if not path.exists():
+        return
+    size = path.stat().st_size
+    if size == 0:
+        return
+    with open(path, "rb") as handle:
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+    end = _complete_prefix_end(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(end)
+
+
+@contextmanager
+def _store_write_lock(root: Path) -> Iterator[None]:
+    """Advisory exclusive lock serializing writers on one store root.
+
+    Protects the append + index sequence against concurrent processes
+    (two unserialized O_APPEND writers would both record the same
+    ``tell()`` offset while the kernel interleaves their writes).
+    Readers never take the lock; on platforms without ``fcntl`` the
+    store falls back to the documented single-writer assumption.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    root.mkdir(parents=True, exist_ok=True)
+    with open(root / ".lock", "ab") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 # ---------------------------------------------------------------------------
 # The store facade
 # ---------------------------------------------------------------------------
@@ -404,9 +461,10 @@ class CampaignStore:
                 f"record schema {record.get('schema')!r} is not supported "
                 f"(expected {STORE_SCHEMA_VERSION})"
             )
-        if self.layout == LAYOUT_V1:
-            return self._v1_put(record)
-        return self._v2_put(record)
+        with _store_write_lock(self.root):
+            if self.layout == LAYOUT_V1:
+                return self._v1_put(record)
+            return self._v2_put(record)
 
     def put_campaign(
         self,
@@ -547,14 +605,30 @@ class CampaignStore:
         if cid in index["campaigns"]:
             return cid
         self.root.mkdir(parents=True, exist_ok=True)
+        if self.records_path.exists() and not self.index_jsonl_path.exists():
+            # Legacy store read through index.json: materialize the full
+            # incremental side index from the log before the first
+            # append — a lone appended line would otherwise shadow
+            # index.json (and drop every prior campaign) on reopen.
+            index = self._v1_rebuild_index()
+            self._v1_index = index
+            if cid in index["campaigns"]:
+                return cid
+        # A crash-torn final line was never acknowledged; drop it so the
+        # new record cannot fuse with the fragment (journal rule).
+        _truncate_torn_tail(self.records_path)
+        _truncate_torn_tail(self.index_jsonl_path)
         _cid, line = encode_record_line(record, cid)
-        _fsync_append(self.records_path, line)
+        offset, length = _fsync_append(self.records_path, line)
         summary = record_summary(record)
         # O(1) ingest: one appended side-index line per record — the
         # monolithic rewrite-the-world index.json is never written again
-        # (only read, as a legacy fallback).
+        # (only read, as a legacy fallback).  ``end`` records how far
+        # into the log this entry covers, so a stale index (crash
+        # between the two appends) re-syncs from that offset on open.
         _fsync_append(
-            self.index_jsonl_path, _canonical_json({"id": cid, "summary": summary})
+            self.index_jsonl_path,
+            _canonical_json({"end": offset + length, "id": cid, "summary": summary}),
         )
         index["order"].append(cid)
         index["campaigns"][cid] = summary
@@ -570,29 +644,50 @@ class CampaignStore:
         )
 
     def _v1_load_index(self) -> dict:
-        """The v1 side index, self-healing: rebuilt when missing/corrupt."""
+        """The v1 side index, self-healing: rebuilt when missing/corrupt,
+        re-synced against the log tail when stale (a crash between the
+        log append and the index append loses only the index line, and
+        that line is re-derived here)."""
         if self._v1_index is not None:
             return self._v1_index
-        index = self._v1_read_side_index()
-        if index is None:
+        loaded = self._v1_read_side_index()
+        if loaded is None:
             index = self._v1_rebuild_index()
+        else:
+            index, covered = loaded
+            index = self._v1_reconcile_index(index, covered)
         self._v1_index = index
         return index
 
-    def _v1_read_side_index(self) -> dict | None:
+    def _v1_read_side_index(self) -> tuple[dict, int | None] | None:
+        """``(index, covered_log_bytes)`` from the side index, or None.
+
+        ``covered_log_bytes`` is how far into ``campaigns.jsonl`` the
+        index claims to reach (None when unknown — a legacy index with
+        no coverage offsets, or the read-only ``index.json`` fallback).
+        """
         if self.index_jsonl_path.exists():
             order: list[str] = []
             campaigns: dict[str, dict] = {}
+            covered: int | None = None
             try:
                 for _offset, _length, text in _scan_lines(self.index_jsonl_path):
                     entry = json.loads(text)
                     cid, summary = entry["id"], entry["summary"]
+                    end = entry.get("end")
+                    if isinstance(end, int):
+                        covered = end if covered is None else max(covered, end)
                     if cid not in campaigns:
                         order.append(cid)
                         campaigns[cid] = summary
             except (json.JSONDecodeError, KeyError, TypeError):
                 return None  # corrupt side index -> rebuild from the log
-            return {"schema": STORE_SCHEMA_VERSION, "order": order, "campaigns": campaigns}
+            index = {
+                "schema": STORE_SCHEMA_VERSION,
+                "order": order,
+                "campaigns": campaigns,
+            }
+            return index, covered
         if self.index_path.exists():
             try:
                 index = json.loads(self.index_path.read_text())
@@ -607,22 +702,57 @@ class CampaignStore:
                 index.get("campaigns"), dict
             ):
                 return None
-            return index
+            return index, None
         if not self.records_path.exists():
-            return {"schema": STORE_SCHEMA_VERSION, "order": [], "campaigns": {}}
+            return {"schema": STORE_SCHEMA_VERSION, "order": [], "campaigns": {}}, 0
         return None
+
+    def _v1_reconcile_index(self, index: dict, covered: int | None) -> dict:
+        """Re-index log records the side index's coverage stops short of.
+
+        Only applies to ``index.jsonl`` stores — the read-only
+        ``index.json`` fallback surfaces as-is and heals on first put.
+        Healthy stores pay one ``stat`` here; only a stale index pays
+        the tail scan.
+        """
+        if not self.index_jsonl_path.exists() or not self.records_path.exists():
+            return index
+        if covered is None:
+            # Side index predates coverage offsets: one full rebuild
+            # upgrades it rather than rescanning the log every open.
+            return self._v1_rebuild_index()
+        if self.records_path.stat().st_size <= covered:
+            return index
+        _truncate_torn_tail(self.index_jsonl_path)
+        for offset, length, text in _scan_lines(self.records_path, covered):
+            cid, record = decode_record_line(text, f"{self.records_path}:{offset}")
+            if cid in index["campaigns"]:
+                continue
+            summary = record_summary(record)
+            _fsync_append(
+                self.index_jsonl_path,
+                _canonical_json(
+                    {"end": offset + length, "id": cid, "summary": summary}
+                ),
+            )
+            index["order"].append(cid)
+            index["campaigns"][cid] = summary
+        return index
 
     def _v1_rebuild_index(self) -> dict:
         """Re-derive the side index from the log and persist it."""
         order: list[str] = []
         campaigns: dict[str, dict] = {}
-        for _seg, _offset, _length, cid, record in self._iter_records():
+        lines: list[str] = []
+        for _seg, offset, length, cid, record in self._iter_records():
             if cid not in campaigns:
                 order.append(cid)
                 campaigns[cid] = record_summary(record)
-        lines = [
-            _canonical_json({"id": cid, "summary": campaigns[cid]}) for cid in order
-        ]
+                lines.append(
+                    _canonical_json(
+                        {"end": offset + length, "id": cid, "summary": campaigns[cid]}
+                    )
+                )
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = self.index_jsonl_path.with_suffix(".jsonl.tmp")
         tmp.write_text("".join(line + "\n" for line in lines))
@@ -715,6 +845,27 @@ class CampaignStore:
             return cid
         segment = self._live_segment(conn)
         path = self.segments_dir / segment
+        # Another process may have appended to the live segment since our
+        # open-time sync (or crashed mid-put there): index that tail
+        # before trusting our own offsets, or the indexed_bytes update
+        # below would mark the foreign record as covered without rows.
+        done = conn.execute(
+            "SELECT indexed_bytes FROM segments WHERE name = ?", (segment,)
+        ).fetchone()[0]
+        size = path.stat().st_size if path.exists() else 0
+        if size > done:
+            end = self._ingest_segment_tail(conn, segment, start=done)
+            if end < size:
+                with open(path, "r+b") as handle:
+                    handle.truncate(end)
+            if (
+                conn.execute(
+                    "SELECT 1 FROM campaigns WHERE cid = ?", (cid,)
+                ).fetchone()
+                is not None
+            ):
+                conn.commit()  # the tail held this very record: keep its rows
+                return cid
         _cid, line = encode_record_line(record, cid)
         offset, length = _fsync_append(path, line)
         self._index_record(conn, segment, offset, length, cid, record)
@@ -1002,10 +1153,17 @@ def migrate_store(
     if not store.records_path.exists():
         raise StoreError(f"store {store.root} has no campaigns.jsonl to migrate")
 
-    # Pass 1: verify every line and plan the segment split.
+    # Pass 1: verify every line and plan the segment split.  Duplicate
+    # cid lines (a pre-dedupe-fix log could hold the same record twice;
+    # identical cid means identical bytes, so nothing is lost) are
+    # skipped, matching the side index's first-wins semantics.
     lines: list[tuple[str, str]] = []  # (cid, raw line text)
+    seen: set[str] = set()
     for offset, _length, text in _scan_lines(store.records_path):
         cid, _record = decode_record_line(text, f"{store.records_path}:{offset}")
+        if cid in seen:
+            continue
+        seen.add(cid)
         lines.append((cid, text))
 
     # Pass 2: write segments (verbatim lines), then the SQLite index,
@@ -1073,15 +1231,9 @@ def migrate_store(
         os.fsync(handle.fileno())
     os.replace(tmp, store.manifest_path)
 
-    # Retire the v1 files so detection is unambiguous.
-    for old in (store.records_path, store.index_path, store.index_jsonl_path):
-        if old.exists():
-            backup = old.with_name(old.name + ".v1")
-            os.replace(old, backup)
-            report.backups.append(backup.name)
-
     # Build the index (and verify the ids survived) through the normal
-    # open-time sync path.
+    # open-time sync path — *before* retiring the v1 files, so a failed
+    # verification leaves the original log untouched on disk.
     migrated = CampaignStore(root, segment_max_bytes=segment_max_bytes)
     with migrated:
         migrated._db(repair=True)
@@ -1089,8 +1241,16 @@ def migrate_store(
     if new_ids != report.ids:
         raise StoreError(
             f"migration of {store.root} changed the id sequence "
-            f"({len(report.ids)} -> {len(new_ids)} records)"
+            f"({len(report.ids)} -> {len(new_ids)} records); the v1 "
+            f"files were left in place"
         )
+
+    # Retire the v1 files so detection is unambiguous.
+    for old in (store.records_path, store.index_path, store.index_jsonl_path):
+        if old.exists():
+            backup = old.with_name(old.name + ".v1")
+            os.replace(old, backup)
+            report.backups.append(backup.name)
     return report
 
 

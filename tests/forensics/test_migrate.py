@@ -109,6 +109,21 @@ class TestMigrate:
         with pytest.raises(StoreError, match="no campaigns.jsonl"):
             migrate_store(tmp_path / "empty")
 
+    def test_duplicate_log_lines_deduped(self, v1_root):
+        # Logs written before the v1 dedupe fix can hold the same cid
+        # line twice; migration keeps the first occurrence (matching
+        # index semantics) and still verifies cleanly.
+        ids = CampaignStore(v1_root).ids()
+        log = v1_root / "campaigns.jsonl"
+        duplicate = log.read_text().splitlines()[0]
+        with open(log, "a") as handle:
+            handle.write(duplicate + "\n")
+        report = migrate_store(v1_root)
+        assert report.ids == ids
+        v2 = CampaignStore(v1_root)
+        assert v2.ids() == ids
+        assert [cid for cid, _record in v2.records()] == ids
+
     def test_torn_v1_tail_dropped_not_migrated(self, v1_root):
         # A torn final line was never acknowledged; migration carries
         # only complete records over.
